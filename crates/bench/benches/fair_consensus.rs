@@ -1,0 +1,55 @@
+//! Fig. 9: fair-scheduler consensus with a constant quantum, compared with
+//! the Fig. 7 algorithm at its full Theorem 4 quantum.
+
+use bench::criterion;
+use criterion::BenchmarkId;
+use hybrid_wf::multi::consensus::{LocalMode, MultiMem};
+use hybrid_wf::multi::fair::{decide_machine, FairMem};
+use hybrid_wf::multi::ports::PortLayout;
+use lowerbound::adversary::fig7_kernel;
+use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+
+fn fair_run(q: u32) -> u64 {
+    let (p, v) = (2u32, 2u32);
+    let cpu_of = [0u32, 0, 1, 1];
+    let prio_of = [1u32, 2, 1, 2];
+    let layout = PortLayout::new(p, 2 * p, v);
+    let mem = FairMem::new(MultiMem::new(layout, v, &prio_of, &cpu_of));
+    let mut k = Kernel::new(mem, SystemSpec::hybrid(q));
+    for pid in 0..4u32 {
+        k.add_process(
+            ProcessorId(cpu_of[pid as usize]),
+            Priority(prio_of[pid as usize]),
+            Box::new(decide_machine(
+                pid,
+                cpu_of[pid as usize],
+                prio_of[pid as usize],
+                u64::from(pid) + 1,
+                LocalMode::Modeled,
+            )),
+        );
+    }
+    k.run(&mut RoundRobin::new(), 10_000_000)
+}
+
+fn bench(c: &mut criterion::Criterion) {
+    let mut g = c.benchmark_group("fig9_fair");
+    for q in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("fair_constant_q", q), &q, |b, &q| {
+            b.iter(|| fair_run(q));
+        });
+    }
+    g.bench_function("fig7_reference_q64", |b| {
+        b.iter(|| {
+            let mut k = fig7_kernel(2, 4, 2, 2, 64, LocalMode::Modeled);
+            k.run(&mut RoundRobin::new(), 10_000_000)
+        });
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Theorem 2 / Fig. 5: C&S latency is O(V) in the number of priority
+//! levels (statement counts grow linearly; see also `experiments --thm2`
+//! for the exact series 42 + 14(V−1)).
+
+use bench::criterion;
+use criterion::BenchmarkId;
+use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
+use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+
+fn one_cas_at_v(v: u32) -> u64 {
+    let n = 2;
+    let mut k = Kernel::new(CasMem::new(v, &[v, v], 100), SystemSpec::hybrid(4096));
+    k.add_process(
+        ProcessorId(0),
+        Priority(v),
+        Box::new(op_machine(
+            0,
+            v,
+            n,
+            v,
+            vec![
+                CasOp::Cas { old: 100, new: 1 },
+                CasOp::Cas { old: 1, new: 2 },
+                CasOp::Cas { old: 2, new: 3 },
+            ],
+        )),
+    );
+    let p1 = k.add_held_process(
+        ProcessorId(0),
+        Priority(v),
+        Box::new(op_machine(1, v, n, v, vec![CasOp::Cas { old: 3, new: 4 }])),
+    );
+    let mut d = RoundRobin::new();
+    k.run(&mut d, 1_000_000);
+    k.release(p1);
+    k.run(&mut d, 1_000_000)
+}
+
+fn bench(c: &mut criterion::Criterion) {
+    let mut g = c.benchmark_group("fig5_cas_vs_v");
+    for v in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| one_cas_at_v(v));
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

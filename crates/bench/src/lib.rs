@@ -1,0 +1,16 @@
+//! Shared helpers for the criterion benchmarks that regenerate the paper's
+//! tables and figures. The benchmarks measure *simulated statement counts
+//! are fixed by the algorithms*, so wall-clock time here tracks the
+//! algorithmic work directly (the simulator costs a near-constant factor
+//! per statement).
+
+use criterion::Criterion;
+
+/// A criterion instance tuned for simulation benchmarks: modest sampling
+/// so the full suite stays in CI-friendly time.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}

@@ -1,0 +1,5 @@
+//! Baseline comparators: the exponential priority-only construction the
+//! paper improves on, and the lock-based objects wait-freedom replaces.
+
+pub mod exponential;
+pub mod locks;

@@ -1,0 +1,169 @@
+//! Access-failure accounting: Lemmas 2, 3, B.1, and B.2 of the paper,
+//! verified on concrete runs.
+//!
+//! An *access failure* at level `l` on processor `i` occurs when a process
+//! finds every port of level `l` claimed while no decision value has been
+//! published for `l` — the port winner(s) were preempted inside lines
+//! 21–33 of Fig. 7 before publishing. Failures are *same-priority* or
+//! *different-priority* according to the priorities of the processes
+//! involved. The paper bounds them:
+//!
+//! * **Lemma 2** — `AF_diff ≤ M` (per processor): lower-priority processes
+//!   cannot preempt higher-priority ones, so each process pays at most one
+//!   different-priority failure.
+//! * **Lemma 3** — `AF_same ≤ K·M + (P−K)(L + M(P−K)) / (1 + P − K)`,
+//!   provided `Q` is large enough that each process is preempted at most
+//!   once by equal-priority processes while accessing any `P − K + 1`
+//!   consecutive levels. Moreover, if
+//!   `L > (K+1)·M·(1+P−K) + (P−K)²·M`, a **deciding level** exists — a
+//!   level with no access failure on any processor — which is what makes
+//!   the algorithm's decision unique.
+//!
+//! These bounds are checked against the oracle instrumentation that
+//! [`MultiMem`](crate::multi::consensus::MultiMem) records during runs.
+
+use crate::multi::consensus::MultiMem;
+
+/// Aggregate access-failure statistics extracted from a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AfSummary {
+    /// Per-processor count of levels with a same-priority access failure.
+    pub same_per_cpu: Vec<u32>,
+    /// Per-processor count of levels with a different-priority access
+    /// failure.
+    pub diff_per_cpu: Vec<u32>,
+    /// Total levels with same-priority failures (the paper's `AF_same`).
+    pub same: u32,
+    /// Total levels with different-priority failures (`AF_diff`).
+    pub diff: u32,
+    /// Levels (1-based) with no access failure on any processor.
+    pub clean_levels: Vec<u32>,
+}
+
+/// Summarizes the access failures recorded in `m`.
+pub fn summarize(m: &MultiMem) -> AfSummary {
+    let p = m.layout.p as usize;
+    let l = m.layout.l;
+    let mut s = AfSummary {
+        same_per_cpu: vec![0; p],
+        diff_per_cpu: vec![0; p],
+        ..AfSummary::default()
+    };
+    for lvl in 1..=l {
+        let mut clean = true;
+        for cpu in 0..p {
+            let f = m.af[cpu][lvl as usize];
+            if f.same {
+                s.same_per_cpu[cpu] += 1;
+                s.same += 1;
+                clean = false;
+            }
+            if f.diff {
+                s.diff_per_cpu[cpu] += 1;
+                s.diff += 1;
+                clean = false;
+            }
+        }
+        if clean {
+            s.clean_levels.push(lvl);
+        }
+    }
+    s
+}
+
+/// Lemma 2's bound: at most `M` different-priority access-failure levels
+/// per processor.
+pub fn lemma2_holds(m: &MultiMem) -> bool {
+    summarize(m).diff_per_cpu.iter().all(|&d| d <= m.layout.m)
+}
+
+/// Lemma 3's bound on `AF_same`, as an integer inequality
+/// (`AF_same · (1+P−K) ≤ KM(1+P−K) + (P−K)(L + M(P−K))`).
+pub fn lemma3_bound_holds(m: &MultiMem) -> bool {
+    let s = summarize(m);
+    let (p, k, mm, l) =
+        (u64::from(m.layout.p), u64::from(m.layout.k), u64::from(m.layout.m), u64::from(m.layout.l));
+    let lhs = u64::from(s.same) * (1 + p - k);
+    let rhs = k * mm * (1 + p - k) + (p - k) * (l + mm * (p - k));
+    lhs <= rhs
+}
+
+/// Lemma 3's existence claim: with `L` as defined in Fig. 7, some level has
+/// no access failure on any processor.
+pub fn deciding_level_exists(m: &MultiMem) -> bool {
+    !summarize(m).clean_levels.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::consensus::AfFlags;
+    use crate::multi::ports::PortLayout;
+
+    fn mem(p: u32, c: u32, m: u32) -> MultiMem {
+        let layout = PortLayout::new(p, c, m);
+        let n = (p * m) as usize;
+        let prio: Vec<u32> = vec![1; n];
+        let cpu: Vec<u32> = (0..n as u32).map(|i| i % p).collect();
+        MultiMem::new(layout, 1, &prio, &cpu)
+    }
+
+    #[test]
+    fn clean_run_has_all_levels_clean() {
+        let m = mem(2, 3, 2);
+        let s = summarize(&m);
+        assert_eq!(s.same, 0);
+        assert_eq!(s.diff, 0);
+        assert_eq!(s.clean_levels.len() as u32, m.layout.l);
+        assert!(lemma2_holds(&m));
+        assert!(lemma3_bound_holds(&m));
+        assert!(deciding_level_exists(&m));
+    }
+
+    #[test]
+    fn injected_failures_are_counted() {
+        let mut m = mem(2, 3, 2);
+        m.af[0][1] = AfFlags { same: true, diff: false };
+        m.af[1][1] = AfFlags { same: false, diff: true };
+        m.af[0][2] = AfFlags { same: true, diff: true };
+        let s = summarize(&m);
+        assert_eq!(s.same, 2);
+        assert_eq!(s.diff, 2);
+        assert_eq!(s.same_per_cpu, vec![2, 0]);
+        assert_eq!(s.diff_per_cpu, vec![1, 1]);
+        assert!(!s.clean_levels.contains(&1));
+        assert!(!s.clean_levels.contains(&2));
+        assert!(s.clean_levels.contains(&3));
+    }
+
+    #[test]
+    fn lemma2_violation_detected() {
+        let mut m = mem(1, 1, 1); // M = 1: a single diff failure is the max
+        m.af[0][1].diff = true;
+        assert!(lemma2_holds(&m));
+        m.af[0][2].diff = true;
+        assert!(!lemma2_holds(&m));
+    }
+
+    #[test]
+    fn lemma3_violation_detected() {
+        let mut m = mem(1, 1, 1);
+        // P = 1, K = 0, M = 1: bound is AF_same·2 ≤ 0 + 1·(L + 1).
+        let l = m.layout.l;
+        for lvl in 1..=l {
+            m.af[0][lvl as usize].same = true;
+        }
+        // AF_same = L; 2L ≤ L + 1 fails for L > 1.
+        assert!(!lemma3_bound_holds(&m));
+    }
+
+    #[test]
+    fn deciding_level_requires_a_clean_level() {
+        let mut m = mem(1, 2, 1);
+        let l = m.layout.l;
+        for lvl in 1..=l {
+            m.af[0][lvl as usize].same = true;
+        }
+        assert!(!deciding_level_exists(&m));
+    }
+}

@@ -1,0 +1,8 @@
+//! Multiprocessor algorithms (Sec. 4 of the paper): wait-free consensus for
+//! any number of processes on `P` processors from `C`-consensus objects,
+//! the fair-scheduler variant, and access-failure accounting.
+
+pub mod consensus;
+pub mod failures;
+pub mod fair;
+pub mod ports;

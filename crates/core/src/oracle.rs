@@ -1,0 +1,312 @@
+//! Linearizability checking for concurrent object histories.
+//!
+//! The correctness claim behind Theorem 2 (and behind every universal
+//! construction) is that the implemented object is *linearizable*: every
+//! concurrent history has a sequential witness that respects real-time
+//! order and the object's sequential specification. This module implements
+//! the classical Wing–Gong search with memoization: feasible for the dozens
+//! of operations the simulated stress tests produce.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybrid_wf::oracle::{check_linearizable, CasRegisterSpec, TimedOp};
+//! use hybrid_wf::oracle::CasRegOp;
+//!
+//! // Two CAS(0→1) racing: one succeeds, one fails. Linearizable.
+//! let ops = vec![
+//!     TimedOp { start: 0, end: 5, op: CasRegOp::Cas { old: 0, new: 1 }, result: 1 },
+//!     TimedOp { start: 1, end: 6, op: CasRegOp::Cas { old: 0, new: 1 }, result: 0 },
+//! ];
+//! check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+//! ```
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use wfmem::Val;
+
+/// A completed operation with its real-time interval and observed result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedOp<O> {
+    /// Time of the operation's first statement.
+    pub start: u64,
+    /// Time of its last statement. An operation `a` precedes `b` in real
+    /// time iff `a.end < b.start`.
+    pub end: u64,
+    /// The operation performed.
+    pub op: O,
+    /// The result the caller observed (booleans encoded 0/1).
+    pub result: Val,
+}
+
+/// A sequential object specification.
+pub trait SeqSpec {
+    /// Operation descriptor type.
+    type Op: Clone + Debug;
+    /// Abstract state type.
+    type State: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the successor state and the
+    /// result a sequential execution would return.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Val);
+}
+
+/// Checks that `ops` is linearizable with respect to `spec`.
+///
+/// # Errors
+///
+/// Returns a description of the violation when no valid linearization
+/// exists. The search is exponential in the worst case; intended for
+/// histories of at most a few dozen operations.
+pub fn check_linearizable<S: SeqSpec>(spec: &S, ops: &[TimedOp<S::Op>]) -> Result<(), String> {
+    assert!(ops.len() <= 63, "oracle supports at most 63 operations");
+    let n = ops.len();
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    // dead set: (remaining-mask, state) pairs known to admit no witness.
+    let mut dead: HashSet<(u64, S::State)> = HashSet::new();
+
+    fn dfs<S: SeqSpec>(
+        spec: &S,
+        ops: &[TimedOp<S::Op>],
+        remaining: u64,
+        state: &S::State,
+        dead: &mut HashSet<(u64, S::State)>,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        if dead.contains(&(remaining, state.clone())) {
+            return false;
+        }
+        // An op may linearize next iff no *remaining* op precedes it in
+        // real time.
+        let min_end = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| remaining & (1 << i) != 0)
+            .map(|(_, o)| o.end)
+            .min()
+            .expect("remaining nonempty");
+        for i in 0..ops.len() {
+            if remaining & (1 << i) == 0 {
+                continue;
+            }
+            let o = &ops[i];
+            if o.start > min_end {
+                continue; // some remaining op really finished before o began
+            }
+            let (next, expected) = spec.apply(state, &o.op);
+            if expected != o.result {
+                continue;
+            }
+            if dfs(spec, ops, remaining & !(1 << i), &next, dead) {
+                return true;
+            }
+        }
+        dead.insert((remaining, state.clone()));
+        false
+    }
+
+    if dfs(spec, ops, full, &spec.init(), &mut dead) {
+        Ok(())
+    } else {
+        Err(format!("no linearization exists for {} operations: {ops:?}", n))
+    }
+}
+
+/// Operations of a compare-and-swap register (the Fig. 5 object).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CasRegOp {
+    /// `C&S(old, new)`: returns 1 and installs `new` iff the value equals
+    /// `old`; otherwise returns 0.
+    Cas {
+        /// Expected value.
+        old: Val,
+        /// Replacement value.
+        new: Val,
+    },
+    /// `Read()`: returns the current value.
+    Read,
+}
+
+/// Sequential specification of a CAS register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CasRegisterSpec {
+    /// Initial register value.
+    pub init: Val,
+}
+
+impl SeqSpec for CasRegisterSpec {
+    type Op = CasRegOp;
+    type State = Val;
+
+    fn init(&self) -> Val {
+        self.init
+    }
+
+    fn apply(&self, state: &Val, op: &CasRegOp) -> (Val, Val) {
+        match *op {
+            CasRegOp::Cas { old, new } => {
+                if *state == old {
+                    (new, 1)
+                } else {
+                    (*state, 0)
+                }
+            }
+            CasRegOp::Read => (*state, *state),
+        }
+    }
+}
+
+/// Operations of a FIFO queue over `Val`s (used by the universal
+/// construction tests). `Deq` returns [`EMPTY`] when the queue is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// Enqueue a value (result is always 0).
+    Enq(Val),
+    /// Dequeue; returns the value or [`EMPTY`].
+    Deq,
+}
+
+/// Sentinel returned by [`QueueOp::Deq`] on an empty queue.
+pub const EMPTY: Val = u64::MAX;
+
+/// Sequential specification of a FIFO queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct QueueSpec;
+
+impl SeqSpec for QueueSpec {
+    type Op = QueueOp;
+    type State = Vec<Val>;
+
+    fn init(&self) -> Vec<Val> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<Val>, op: &QueueOp) -> (Vec<Val>, Val) {
+        match *op {
+            QueueOp::Enq(v) => {
+                let mut s = state.clone();
+                s.push(v);
+                (s, 0)
+            }
+            QueueOp::Deq => {
+                if state.is_empty() {
+                    (state.clone(), EMPTY)
+                } else {
+                    let mut s = state.clone();
+                    let v = s.remove(0);
+                    (s, v)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cas(start: u64, end: u64, old: Val, new: Val, ok: bool) -> TimedOp<CasRegOp> {
+        TimedOp { start, end, op: CasRegOp::Cas { old, new }, result: u64::from(ok) }
+    }
+
+    fn read(start: u64, end: u64, v: Val) -> TimedOp<CasRegOp> {
+        TimedOp { start, end, op: CasRegOp::Read, result: v }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        check_linearizable(&CasRegisterSpec { init: 0 }, &[]).unwrap();
+    }
+
+    #[test]
+    fn sequential_history() {
+        let ops = vec![cas(0, 1, 0, 5, true), read(2, 3, 5), cas(4, 5, 5, 7, true), read(6, 7, 7)];
+        check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+    }
+
+    #[test]
+    fn racing_cas_one_winner() {
+        let ops = vec![cas(0, 10, 0, 1, true), cas(0, 10, 0, 2, false), read(11, 12, 1)];
+        check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+    }
+
+    #[test]
+    fn detects_two_winners() {
+        let ops = vec![cas(0, 10, 0, 1, true), cas(0, 10, 0, 2, true)];
+        assert!(check_linearizable(&CasRegisterSpec { init: 0 }, &ops).is_err());
+    }
+
+    #[test]
+    fn detects_stale_read() {
+        // CAS finished before the read started, yet the read saw the old
+        // value: not linearizable.
+        let ops = vec![cas(0, 1, 0, 1, true), read(2, 3, 0)];
+        assert!(check_linearizable(&CasRegisterSpec { init: 0 }, &ops).is_err());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either() {
+        let ops = vec![cas(0, 10, 0, 1, true), read(5, 6, 0)];
+        check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+        let ops = vec![cas(0, 10, 0, 1, true), read(5, 6, 1)];
+        check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+    }
+
+    #[test]
+    fn respects_real_time_order_among_cas() {
+        // CAS(0→1) ok, then strictly later CAS(0→2) ok: impossible.
+        let ops = vec![cas(0, 1, 0, 1, true), cas(2, 3, 0, 2, true)];
+        assert!(check_linearizable(&CasRegisterSpec { init: 0 }, &ops).is_err());
+        // But CAS(1→2) ok is fine.
+        let ops = vec![cas(0, 1, 0, 1, true), cas(2, 3, 1, 2, true)];
+        check_linearizable(&CasRegisterSpec { init: 0 }, &ops).unwrap();
+    }
+
+    #[test]
+    fn failed_cas_must_be_explainable() {
+        // Solo failed CAS whose old matches init: not linearizable.
+        let ops = vec![cas(0, 1, 0, 1, false)];
+        assert!(check_linearizable(&CasRegisterSpec { init: 0 }, &ops).is_err());
+    }
+
+    #[test]
+    fn queue_fifo_order_enforced() {
+        let ops = vec![
+            TimedOp { start: 0, end: 1, op: QueueOp::Enq(1), result: 0 },
+            TimedOp { start: 2, end: 3, op: QueueOp::Enq(2), result: 0 },
+            TimedOp { start: 4, end: 5, op: QueueOp::Deq, result: 1 },
+            TimedOp { start: 6, end: 7, op: QueueOp::Deq, result: 2 },
+        ];
+        check_linearizable(&QueueSpec, &ops).unwrap();
+        let bad = vec![
+            TimedOp { start: 0, end: 1, op: QueueOp::Enq(1), result: 0 },
+            TimedOp { start: 2, end: 3, op: QueueOp::Enq(2), result: 0 },
+            TimedOp { start: 4, end: 5, op: QueueOp::Deq, result: 2 },
+        ];
+        assert!(check_linearizable(&QueueSpec, &bad).is_err());
+    }
+
+    #[test]
+    fn queue_empty_sentinel() {
+        let ops = vec![TimedOp { start: 0, end: 1, op: QueueOp::Deq, result: EMPTY }];
+        check_linearizable(&QueueSpec, &ops).unwrap();
+    }
+
+    #[test]
+    fn concurrent_enqueues_either_order() {
+        let ops = vec![
+            TimedOp { start: 0, end: 10, op: QueueOp::Enq(1), result: 0 },
+            TimedOp { start: 0, end: 10, op: QueueOp::Enq(2), result: 0 },
+            TimedOp { start: 11, end: 12, op: QueueOp::Deq, result: 2 },
+            TimedOp { start: 13, end: 14, op: QueueOp::Deq, result: 1 },
+        ];
+        check_linearizable(&QueueSpec, &ops).unwrap();
+    }
+}

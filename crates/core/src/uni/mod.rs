@@ -1,0 +1,8 @@
+//! Uniprocessor algorithms (Sec. 3 of the paper): consensus and
+//! compare-and-swap from reads and writes under hybrid scheduling, plus the
+//! quantum-based primitives of Anderson, Jain & Ott that the paper builds
+//! on.
+
+pub mod cas;
+pub mod consensus;
+pub mod quantum;

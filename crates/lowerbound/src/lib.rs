@@ -1,0 +1,32 @@
+//! Theorem 3 of the paper: in a `P`-processor system with quantum-based or
+//! hybrid schedulers, consensus **cannot** be implemented wait-free for
+//! arbitrarily many processes from registers and `C`-consensus objects if
+//! `C ≥ P` and `Q ≤ max(1, 2P − C)`.
+//!
+//! The paper proves this with a valency argument (Appendix A, Figs. 6/10):
+//! an adversary staggers `Q` initial processes across quantum boundaries so
+//! one is always preemptable, then at the critical bivalent state extends
+//! two ways and exhausts the `C`-consensus object with `Q + 2(P − Q) =
+//! 2P − Q ≥ C` invocations — the last process sees `⊥` in both extensions,
+//! cannot distinguish them, and must decide the same value in both, a
+//! contradiction.
+//!
+//! This crate makes the argument executable:
+//!
+//! * [`fig6`] — constructs the paper's two concrete histories against a
+//!   canonical single-object algorithm and exhibits the indistinguishable
+//!   process (the paper's `p₂ᴾ`).
+//! * [`valency`] — classifies reachable states of small simulations as
+//!   uni- or bi-valent and searches for arbitrarily deep bivalent chains
+//!   (the Lemma 5/6 machinery of Fig. 10).
+//! * [`adversary`] — preemption-maximizing deciders plus empirical
+//!   violation search against the Fig. 7 algorithm, used by the `table1`
+//!   experiment to locate the quantum threshold between the paper's upper
+//!   and lower bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod fig6;
+pub mod valency;

@@ -1,0 +1,194 @@
+//! The Fig. 7 multiprocessor consensus on real threads: one OS thread per
+//! processor, each running its processes' `decide` invocations; shared
+//! state entirely in atomics.
+//!
+//! Within a thread the processes run without preemption (a legal hybrid
+//! schedule), so the uniprocessor `local-*` objects reduce to plain
+//! per-thread operations; the cross-processor structure — levels, ports,
+//! `C`-consensus objects, published values — is the paper's, raced for
+//! real.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use hybrid_wf::multi::ports::PortLayout;
+
+use crate::objects::{AtomicCConsensus, AtomicElection, AtomicOptVal};
+
+/// Shared state of a native Fig. 7 instance.
+pub struct NativeConsensus {
+    layout: PortLayout,
+    /// One `C`-consensus object per level (index 1..=L).
+    cons: Vec<AtomicCConsensus>,
+    /// `Outval[cpu][level]`.
+    outval: Vec<Vec<AtomicOptVal>>,
+    /// Per-processor port counter (single priority level in the native
+    /// port: each processor thread serializes its own processes).
+    port: Vec<AtomicU64>,
+    /// Per-(cpu, port) elections.
+    elections: Vec<Vec<AtomicElection>>,
+}
+
+impl NativeConsensus {
+    /// Allocates an instance for the given layout.
+    pub fn new(layout: PortLayout) -> Arc<Self> {
+        let p = layout.p as usize;
+        let l = layout.l as usize;
+        let ports_len = 2 * l + 3 * layout.m as usize + 4;
+        Arc::new(NativeConsensus {
+            layout,
+            cons: (0..=l).map(|_| AtomicCConsensus::new(layout.c())).collect(),
+            outval: (0..p).map(|_| (0..=l).map(|_| AtomicOptVal::default()).collect()).collect(),
+            port: (0..p).map(|_| AtomicU64::new(1)).collect(),
+            elections: (0..p)
+                .map(|_| (0..ports_len).map(|_| AtomicElection::new()).collect())
+                .collect(),
+        })
+    }
+
+    /// One process's `decide(val)` on processor `cpu`. `me` must be unique
+    /// and nonzero across all processes.
+    ///
+    /// Follows Fig. 7 lines 14–36 (single priority level per processor, so
+    /// the lines 5–13 lower-priority merge is vacuous).
+    pub fn decide(&self, cpu: u32, me: u64, val: u64) -> u64 {
+        let l_max = self.layout.l;
+        let numports = u64::from(self.layout.ports_per_level(cpu));
+        let cpu_us = cpu as usize;
+        let mut input = val;
+        let mut level;
+        let mut prevlevel = 0u32;
+        let mut publevel = 0u32;
+        loop {
+            // 15–16: someone finished?
+            if let Some(v) = self.outval[cpu_us][l_max as usize].get() {
+                return v;
+            }
+            // 17–26: claim a port.
+            let port = self.port[cpu_us].fetch_add(1, Ordering::AcqRel);
+            level = ((port - 1) / numports + 1) as u32;
+            // Skip the sibling port of a level we already visited.
+            if level == prevlevel {
+                prevlevel = level;
+                continue;
+            }
+            if level > l_max {
+                break;
+            }
+            // 27–28: freshest published input on this processor.
+            if publevel != 0 {
+                if let Some(v) = self.outval[cpu_us][publevel as usize].get() {
+                    input = v;
+                }
+            }
+            // 30: the port election.
+            if self.elections[cpu_us][port as usize].decide(me) == me {
+                // 31–33: invoke the level's C-consensus object, publish.
+                let out = self.cons[level as usize].invoke(input).unwrap_or(input);
+                self.outval[cpu_us][level as usize].set(out);
+                publevel = publevel.max(level);
+            }
+            prevlevel = level;
+        }
+        // 35–36.
+        if publevel != 0 {
+            if let Some(v) = self.outval[cpu_us][publevel as usize].get() {
+                return v;
+            }
+        }
+        // Fall back to the highest published level on this processor.
+        for l in (1..=l_max).rev() {
+            if let Some(v) = self.outval[cpu_us][l as usize].get() {
+                return v;
+            }
+        }
+        input
+    }
+}
+
+/// Runs `m` processes per processor across `p` OS threads, each proposing
+/// a distinct value; returns every process's decision.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_native(p: u32, c: u32, m: u32) -> Vec<u64> {
+    let layout = PortLayout::new(p, c, m);
+    let shared = NativeConsensus::new(layout);
+    let mut handles = Vec::new();
+    for cpu in 0..p {
+        let shared = shared.clone();
+        handles.push(thread::spawn(move || {
+            let mut outs = Vec::new();
+            for j in 0..m {
+                let pid = u64::from(cpu * m + j) + 1;
+                outs.push(shared.decide(cpu, pid, 100 + pid));
+            }
+            outs
+        }));
+    }
+    handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_decides_own_value() {
+        let shared = NativeConsensus::new(PortLayout::new(1, 1, 1));
+        assert_eq!(shared.decide(0, 1, 42), 42);
+    }
+
+    #[test]
+    fn sequential_processes_agree() {
+        let shared = NativeConsensus::new(PortLayout::new(1, 1, 3));
+        let a = shared.decide(0, 1, 10);
+        let b = shared.decide(0, 2, 20);
+        let c = shared.decide(0, 3, 30);
+        assert_eq!((a, b, c), (10, 10, 10));
+    }
+
+    #[test]
+    fn concurrent_threads_agree_many_rounds() {
+        for p in [2u32, 3] {
+            for c in [p, 2 * p] {
+                for _round in 0..30 {
+                    let outs = run_native(p, c, 2);
+                    assert!(
+                        outs.windows(2).all(|w| w[0] == w[1]),
+                        "P={p} C={c}: disagreement {outs:?}"
+                    );
+                    let v = outs[0];
+                    assert!((101..=100 + u64::from(2 * p)).contains(&v), "invalid {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_contention_round() {
+        for _ in 0..5 {
+            let outs = run_native(4, 4, 4);
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        }
+    }
+
+    #[test]
+    fn c_consensus_objects_never_over_invoked() {
+        let layout = PortLayout::new(2, 3, 2);
+        let shared = NativeConsensus::new(layout);
+        let s2 = shared.clone();
+        let h = thread::spawn(move || {
+            (s2.decide(1, 10, 1000), s2.decide(1, 11, 1001))
+        });
+        let a = shared.decide(0, 1, 500);
+        let b = shared.decide(0, 2, 501);
+        let (c, d) = h.join().unwrap();
+        assert!(a == b && b == c && c == d, "{a} {b} {c} {d}");
+        for o in shared.cons.iter().skip(1) {
+            assert!(o.invocations() <= shared.layout.c() + 0, "over-invoked");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Lock-free shared objects on real atomics: the `C`-consensus primitive
+//! and the one-shot election cell the native Fig. 7 port uses.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for "undecided" — proposals must not equal it.
+const EMPTY: u64 = u64::MAX;
+
+/// A `C`-consensus object on real atomics: the first `C` invocations agree
+/// on the first proposal to land; later invocations return `None` (the
+/// paper's `⊥`), exactly like the simulator's model.
+///
+/// # Examples
+///
+/// ```
+/// use native::objects::AtomicCConsensus;
+///
+/// let o = AtomicCConsensus::new(2);
+/// assert_eq!(o.invoke(5), Some(5));
+/// assert_eq!(o.invoke(9), Some(5));
+/// assert_eq!(o.invoke(1), None); // exhausted
+/// ```
+#[derive(Debug)]
+pub struct AtomicCConsensus {
+    cap: u32,
+    decided: AtomicU64,
+    invocations: AtomicU32,
+}
+
+impl AtomicCConsensus {
+    /// Creates an undecided object with consensus number `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: u32) -> Self {
+        assert!(cap > 0);
+        AtomicCConsensus {
+            cap,
+            decided: AtomicU64::new(EMPTY),
+            invocations: AtomicU32::new(0),
+        }
+    }
+
+    /// Invokes the object with proposal `v` (`v != u64::MAX`).
+    ///
+    /// Lock-free: one `fetch_add` to claim an invocation slot, one
+    /// `compare_exchange` to decide, one load to read the decision.
+    pub fn invoke(&self, v: u64) -> Option<u64> {
+        debug_assert_ne!(v, EMPTY, "u64::MAX is the ⊥ sentinel");
+        let ticket = self.invocations.fetch_add(1, Ordering::AcqRel);
+        if ticket >= self.cap {
+            return None;
+        }
+        let _ = self
+            .decided
+            .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire);
+        Some(self.decided.load(Ordering::Acquire))
+    }
+
+    /// The decided value, if any (does not consume an invocation).
+    pub fn read(&self) -> Option<u64> {
+        match self.decided.load(Ordering::Acquire) {
+            EMPTY => None,
+            v => Some(v),
+        }
+    }
+
+    /// Invocations so far.
+    pub fn invocations(&self) -> u32 {
+        self.invocations.load(Ordering::Acquire)
+    }
+}
+
+/// A one-shot consensus cell (unbounded invocations): first
+/// `compare_exchange` wins. Used for the native port's per-port elections
+/// — on real hardware CAS has infinite consensus number, so this is the
+/// `C = ∞` rung of Herlihy's hierarchy standing in for the read/write
+/// election that the quantum guarantee would otherwise enable.
+#[derive(Debug)]
+pub struct AtomicElection {
+    decided: AtomicU64,
+}
+
+impl Default for AtomicElection {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicElection {
+    /// Creates an undecided cell.
+    pub fn new() -> Self {
+        AtomicElection { decided: AtomicU64::new(EMPTY) }
+    }
+
+    /// Proposes `v`; returns the winner's value.
+    pub fn decide(&self, v: u64) -> u64 {
+        debug_assert_ne!(v, EMPTY);
+        let _ = self
+            .decided
+            .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire);
+        self.decided.load(Ordering::Acquire)
+    }
+
+    /// The winner, if decided.
+    pub fn read(&self) -> Option<u64> {
+        match self.decided.load(Ordering::Acquire) {
+            EMPTY => None,
+            v => Some(v),
+        }
+    }
+}
+
+/// An optional-value atomic register (`⊥` = `u64::MAX`), used for the
+/// native `Outval` array.
+#[derive(Debug)]
+pub struct AtomicOptVal {
+    v: AtomicU64,
+}
+
+impl Default for AtomicOptVal {
+    fn default() -> Self {
+        AtomicOptVal { v: AtomicU64::new(EMPTY) }
+    }
+}
+
+impl AtomicOptVal {
+    /// Reads the register.
+    pub fn get(&self) -> Option<u64> {
+        match self.v.load(Ordering::Acquire) {
+            EMPTY => None,
+            x => Some(x),
+        }
+    }
+
+    /// Writes the register.
+    pub fn set(&self, x: u64) {
+        debug_assert_ne!(x, EMPTY);
+        self.v.store(x, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn c_consensus_first_proposal_wins_sequential() {
+        let o = AtomicCConsensus::new(3);
+        assert_eq!(o.invoke(7), Some(7));
+        assert_eq!(o.invoke(8), Some(7));
+        assert_eq!(o.invoke(9), Some(7));
+        assert_eq!(o.invoke(10), None);
+    }
+
+    #[test]
+    fn c_consensus_concurrent_agreement() {
+        for _round in 0..50 {
+            let o = Arc::new(AtomicCConsensus::new(8));
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    let o = o.clone();
+                    thread::spawn(move || o.invoke(i + 1))
+                })
+                .collect();
+            let outs: Vec<Option<u64>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let first = outs[0].expect("within cap");
+            assert!(outs.iter().all(|&x| x == Some(first)));
+            assert!((1..=8).contains(&first));
+        }
+    }
+
+    #[test]
+    fn c_consensus_exhaustion_under_contention() {
+        let o = Arc::new(AtomicCConsensus::new(2));
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                let o = o.clone();
+                thread::spawn(move || o.invoke(i + 1))
+            })
+            .collect();
+        let outs: Vec<Option<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let bots = outs.iter().filter(|x| x.is_none()).count();
+        assert_eq!(bots, 4, "exactly cap invocations succeed: {outs:?}");
+    }
+
+    #[test]
+    fn election_single_winner_concurrent() {
+        for _ in 0..50 {
+            let e = Arc::new(AtomicElection::new());
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let e = e.clone();
+                    thread::spawn(move || e.decide(i + 1))
+                })
+                .collect();
+            let outs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "{outs:?}");
+        }
+    }
+
+    #[test]
+    fn optval_roundtrip() {
+        let r = AtomicOptVal::default();
+        assert_eq!(r.get(), None);
+        r.set(5);
+        assert_eq!(r.get(), Some(5));
+    }
+}

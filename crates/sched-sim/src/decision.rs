@@ -1,0 +1,296 @@
+//! Scheduling nondeterminism, funneled through a single [`Decider`] trait.
+//!
+//! Every choice the model leaves open — which processor takes the next
+//! atomic statement, which equal-priority process receives a fresh quantum
+//! window, and how a process's very first window aligns with a quantum
+//! boundary — is resolved by asking a `Decider`. This makes the simulator a
+//! *schedule-parametric* machine: fair round-robin scheduling, seeded random
+//! scheduling, scripted schedules for regression tests, and the adversaries
+//! of the paper's lower-bound proofs are all just deciders.
+
+use crate::ids::{ProcessId, ProcessorId, Priority};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single decision point presented to a [`Decider`].
+///
+/// The number of options is the length of the slice (for
+/// [`Choice::FirstCredit`], the options are the credits `1..=quantum`, so
+/// option index `k` means credit `k + 1`).
+#[derive(Clone, Debug)]
+pub enum Choice<'a> {
+    /// Which processor executes the next atomic statement. Cross-processor
+    /// interleaving is fully asynchronous, so this choice is unconstrained.
+    Cpu {
+        /// Processors that currently have a ready process.
+        options: &'a [ProcessorId],
+    },
+    /// Which process at priority `prio` on processor `cpu` receives the
+    /// quantum window that is now opening (Axiom 2's per-level allocation).
+    /// A scheduler may lawfully starve a ready process by never choosing it.
+    Holder {
+        /// The processor whose level-`prio` window is opening.
+        cpu: ProcessorId,
+        /// The priority level of the window.
+        prio: Priority,
+        /// Ready processes at that level, in ascending pid order.
+        options: &'a [ProcessId],
+    },
+    /// How many statements remain in `pid`'s *first* quantum window.
+    ///
+    /// The paper's execution model lets a process suffer its first quantum
+    /// preemption at any time ("its execution may arbitrarily align with the
+    /// next quantum boundary"); after that it is guaranteed full windows of
+    /// `Q` statements. Option index `k` selects a first window of `k + 1`
+    /// statements, for `k + 1 ∈ 1..=quantum`.
+    FirstCredit {
+        /// The process being dispatched for the first time.
+        pid: ProcessId,
+        /// The configured quantum `Q`.
+        quantum: u32,
+    },
+}
+
+impl Choice<'_> {
+    /// A short tag naming the kind of decision (for traces and scripts).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Choice::Cpu { .. } => "cpu",
+            Choice::Holder { .. } => "holder",
+            Choice::FirstCredit { .. } => "first-credit",
+        }
+    }
+}
+
+/// Resolves scheduling nondeterminism.
+///
+/// `choose` is only consulted when `n >= 2`; single-option decisions are
+/// taken silently. The returned index must be `< n` (the kernel panics
+/// otherwise, since an out-of-range schedule is a bug in the decider).
+pub trait Decider {
+    /// Picks one of `n` options for the decision point `choice`.
+    fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize;
+}
+
+/// Fair round-robin decider: rotates processors, rotates quantum windows
+/// among equal-priority processes, and always grants full first windows.
+///
+/// This models the "fair" schedulers of the paper's Sec. 5 (and the
+/// round-robin-within-a-priority-level policy of QNX/IRIX/VxWorks).
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cpu_next: u32,
+    holder_last: Vec<(ProcessorId, Priority, ProcessId)>,
+}
+
+impl RoundRobin {
+    /// Creates a fair round-robin decider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Decider for RoundRobin {
+    fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
+        match choice {
+            Choice::Cpu { options } => {
+                // Rotate across all processor ids so each runnable cpu gets
+                // steps regularly regardless of which subset is runnable.
+                let start = self.cpu_next;
+                self.cpu_next = self.cpu_next.wrapping_add(1);
+                (0..n)
+                    .min_by_key(|&i| options[i].0.wrapping_sub(start))
+                    .unwrap_or(0)
+            }
+            Choice::Holder { cpu, prio, options } => {
+                let last = self
+                    .holder_last
+                    .iter()
+                    .find(|(c, p, _)| *c == cpu && *p == prio)
+                    .map(|(_, _, h)| *h);
+                // Choose the smallest pid strictly greater than the last
+                // holder, wrapping around: textbook round-robin.
+                let idx = match last {
+                    Some(h) => options
+                        .iter()
+                        .position(|&p| p > h)
+                        .unwrap_or(0),
+                    None => 0,
+                };
+                let chosen = options[idx];
+                self.holder_last.retain(|(c, p, _)| !(*c == cpu && *p == prio));
+                self.holder_last.push((cpu, prio, chosen));
+                idx
+            }
+            // Full first window: a benign scheduler aligns dispatch with a
+            // quantum boundary.
+            Choice::FirstCredit { .. } => n - 1,
+        }
+    }
+}
+
+/// Seeded uniform-random decider, for randomized stress tests.
+///
+/// Random schedules explore preemption placements a fair scheduler never
+/// produces (including adversarially short first windows when the kernel's
+/// first-credit mode allows them), while remaining reproducible from the
+/// seed.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Creates a decider from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Decider for SeededRandom {
+    fn choose(&mut self, _choice: Choice<'_>, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Scripted decider: replays a fixed sequence of option indices.
+///
+/// Used for regression tests and by the exhaustive explorer. Out-of-range
+/// entries are clamped; when the script is exhausted the fallback decider
+/// (round-robin) takes over, unless constructed [`Scripted::strict`] in
+/// which case exhaustion panics.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: Vec<usize>,
+    pos: usize,
+    strict: bool,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// Creates a scripted decider that falls back to round-robin after the
+    /// script is exhausted.
+    pub fn new(script: Vec<usize>) -> Self {
+        Scripted { script, pos: 0, strict: false, fallback: RoundRobin::new() }
+    }
+
+    /// Creates a scripted decider that panics if a decision is requested
+    /// after the script is exhausted.
+    pub fn strict(script: Vec<usize>) -> Self {
+        Scripted { script, pos: 0, strict: true, fallback: RoundRobin::new() }
+    }
+
+    /// How many script entries have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Decider for Scripted {
+    fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
+        if self.pos < self.script.len() {
+            let c = self.script[self.pos].min(n - 1);
+            self.pos += 1;
+            c
+        } else if self.strict {
+            panic!("scripted decider exhausted at {} ({:?})", self.pos, choice.kind());
+        } else {
+            self.fallback.choose(choice, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holder_opts() -> Vec<ProcessId> {
+        vec![ProcessId(0), ProcessId(1), ProcessId(2)]
+    }
+
+    #[test]
+    fn round_robin_rotates_holders() {
+        let mut d = RoundRobin::new();
+        let opts = holder_opts();
+        let mk = || Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts };
+        let a = d.choose(mk(), 3);
+        let b = d.choose(mk(), 3);
+        let c = d.choose(mk(), 3);
+        let d2 = d.choose(mk(), 3);
+        assert_eq!((a, b, c, d2), (0, 1, 2, 0));
+    }
+
+    #[test]
+    fn round_robin_tracks_levels_independently() {
+        let mut d = RoundRobin::new();
+        let opts = holder_opts();
+        let lo = Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts };
+        let hi = Choice::Holder { cpu: ProcessorId(0), prio: Priority(2), options: &opts };
+        assert_eq!(d.choose(lo.clone(), 3), 0);
+        assert_eq!(d.choose(hi.clone(), 3), 0);
+        assert_eq!(d.choose(lo, 3), 1);
+        assert_eq!(d.choose(hi, 3), 1);
+    }
+
+    #[test]
+    fn round_robin_grants_full_first_window() {
+        let mut d = RoundRobin::new();
+        let c = Choice::FirstCredit { pid: ProcessId(0), quantum: 5 };
+        assert_eq!(d.choose(c, 5), 4); // index 4 = credit 5
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible() {
+        let opts = holder_opts();
+        let run = |seed| {
+            let mut d = SeededRandom::new(seed);
+            (0..20)
+                .map(|_| {
+                    d.choose(
+                        Choice::Holder {
+                            cpu: ProcessorId(0),
+                            prio: Priority(1),
+                            options: &opts,
+                        },
+                        3,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back() {
+        let mut d = Scripted::new(vec![2, 1]);
+        let opts = holder_opts();
+        let mk = || Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts };
+        assert_eq!(d.choose(mk(), 3), 2);
+        assert_eq!(d.choose(mk(), 3), 1);
+        // fallback round-robin from here on
+        let _ = d.choose(mk(), 3);
+        assert_eq!(d.consumed(), 2);
+    }
+
+    #[test]
+    fn scripted_clamps_out_of_range() {
+        let mut d = Scripted::new(vec![99]);
+        let opts = holder_opts();
+        assert_eq!(
+            d.choose(Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts }, 3),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn strict_scripted_panics_on_exhaustion() {
+        let mut d = Scripted::strict(vec![]);
+        let opts = holder_opts();
+        let _ = d.choose(
+            Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts },
+            3,
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Exhaustive exploration of all well-formed schedules of a small system.
+//!
+//! The kernel funnels every scheduling choice through decision points and
+//! exposes [`Kernel::step_scripted`], which aborts without mutation when a
+//! script runs out at a decision. The explorer exploits this to enumerate
+//! the complete schedule tree of a configuration: it forks a cloned kernel
+//! at every decision point, deduplicating visited states by
+//! [`Kernel::state_hash`].
+//!
+//! This turns the simulator into a bounded model checker: Lemma 1 of the
+//! paper ("each process returns the same value" for the Fig. 3 consensus
+//! algorithm) is verified here by exhaustive enumeration rather than by
+//! testing a sample of schedules, and the same machinery powers the valency
+//! analysis of the lower-bound experiments (Fig. 10).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::kernel::{Kernel, StepAttempt};
+
+/// Exploration statistics, returned by [`explore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Terminal (quiescent) states visited.
+    pub terminals: u64,
+    /// Statement executions across all explored branches.
+    pub steps: u64,
+    /// States skipped because an identical state had been visited.
+    pub deduped: u64,
+    /// `true` if exploration stopped early because a visitor returned
+    /// [`Verdict::Stop`] or a bound was hit.
+    pub truncated: bool,
+}
+
+/// Visitor verdict controlling the exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep exploring.
+    KeepGoing,
+    /// Abandon the entire exploration (e.g. a counterexample was found).
+    Stop,
+}
+
+/// Bounds for [`explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreBounds {
+    /// Maximum statements along any single branch.
+    pub max_depth: u64,
+    /// Maximum total statement executions across the exploration.
+    pub max_total_steps: u64,
+}
+
+impl Default for ExploreBounds {
+    fn default() -> Self {
+        ExploreBounds { max_depth: 10_000, max_total_steps: 50_000_000 }
+    }
+}
+
+/// Exhaustively explores every schedule of `kernel`, invoking `on_terminal`
+/// at each quiescent state.
+///
+/// States are deduplicated by [`Kernel::state_hash`] — two interleavings
+/// reaching identical (memory, machine, scheduler) states are explored
+/// once. Hash collisions would wrongly prune; the hash is 64-bit, so for
+/// the small configurations this is meant for (≪ 2³² states) collisions
+/// are negligible.
+///
+/// Returns the stats; `truncated` reports whether any bound cut the search.
+pub fn explore<M, F>(kernel: &Kernel<M>, bounds: ExploreBounds, mut on_terminal: F) -> ExploreStats
+where
+    M: Clone + Hash,
+    F: FnMut(&Kernel<M>) -> Verdict,
+{
+    let mut stats = ExploreStats::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    // DFS over (kernel-state, partial decision script for the next step).
+    let mut stack: Vec<(Kernel<M>, Vec<usize>, u64)> = vec![(kernel.clone(), Vec::new(), 0)];
+    seen.insert(kernel.state_hash());
+
+    while let Some((k, script, depth)) = stack.pop() {
+        if stats.steps >= bounds.max_total_steps {
+            stats.truncated = true;
+            break;
+        }
+        let mut k2 = k.clone();
+        match k2.step_scripted(&script) {
+            StepAttempt::Quiescent => {
+                stats.terminals += 1;
+                if on_terminal(&k2) == Verdict::Stop {
+                    stats.truncated = true;
+                    break;
+                }
+            }
+            StepAttempt::Stepped(_) => {
+                stats.steps += 1;
+                if depth + 1 >= bounds.max_depth {
+                    stats.truncated = true;
+                    continue;
+                }
+                if seen.insert(k2.state_hash()) {
+                    stack.push((k2, Vec::new(), depth + 1));
+                } else {
+                    stats.deduped += 1;
+                }
+            }
+            StepAttempt::NeedChoice { arity, .. } => {
+                for c in 0..arity {
+                    let mut s = script.clone();
+                    s.push(c);
+                    stack.push((k.clone(), s, depth));
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Convenience wrapper: explores and asserts `property` at every terminal
+/// state, returning `Ok(stats)` or the first failure message.
+///
+/// # Errors
+///
+/// Returns `Err` with the property's message at the first terminal state
+/// where `property` returns `Some(message)`.
+pub fn check_all_schedules<M, F>(
+    kernel: &Kernel<M>,
+    bounds: ExploreBounds,
+    mut property: F,
+) -> Result<ExploreStats, String>
+where
+    M: Clone + Hash,
+    F: FnMut(&Kernel<M>) -> Option<String>,
+{
+    let mut failure: Option<String> = None;
+    let stats = explore(kernel, bounds, |k| match property(k) {
+        None => Verdict::KeepGoing,
+        Some(msg) => {
+            failure = Some(msg);
+            Verdict::Stop
+        }
+    });
+    match failure {
+        Some(msg) => Err(msg),
+        None => Ok(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ProcessorId, Priority};
+    use crate::kernel::SystemSpec;
+    use crate::machine::{FnMachine, StepOutcome};
+
+    /// Two writers racing on one cell, two statements each, on separate
+    /// cpus: all interleavings should be visited.
+    fn racing_kernel() -> Kernel<(u64, u64)> {
+        let mut k = Kernel::new((0u64, 0u64), SystemSpec::hybrid(4));
+        k.add_process(
+            ProcessorId(0),
+            Priority(1),
+            Box::new(FnMachine::new(|mem: &mut (u64, u64), calls| {
+                if calls == 0 {
+                    mem.0 = 1;
+                    (StepOutcome::Continue, None)
+                } else {
+                    mem.1 = 1;
+                    (StepOutcome::Finished, None)
+                }
+            })),
+        );
+        k.add_process(
+            ProcessorId(1),
+            Priority(1),
+            Box::new(FnMachine::new(|mem: &mut (u64, u64), calls| {
+                if calls == 0 {
+                    mem.0 = 2;
+                    (StepOutcome::Continue, None)
+                } else {
+                    mem.1 = 2;
+                    (StepOutcome::Finished, None)
+                }
+            })),
+        );
+        k
+    }
+
+    #[test]
+    fn visits_all_final_memories() {
+        let k = racing_kernel();
+        let mut finals: Vec<(u64, u64)> = Vec::new();
+        let stats = explore(&k, ExploreBounds::default(), |k| {
+            finals.push(k.mem);
+            Verdict::KeepGoing
+        });
+        finals.sort_unstable();
+        finals.dedup();
+        // Interleavings of (a1 a2) and (b1 b2): last writer of each cell
+        // varies; all four (1,1) (1,2) (2,1) (2,2) are reachable.
+        assert_eq!(finals, vec![(1, 1), (1, 2), (2, 1), (2, 2)]);
+        assert!(stats.terminals >= 4);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn check_all_schedules_reports_counterexample() {
+        let k = racing_kernel();
+        let err = check_all_schedules(&k, ExploreBounds::default(), |k| {
+            (k.mem == (2, 1)).then(|| "reached (2,1)".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err, "reached (2,1)");
+    }
+
+    #[test]
+    fn check_all_schedules_passes_valid_property() {
+        let k = racing_kernel();
+        let stats = check_all_schedules(&k, ExploreBounds::default(), |k| {
+            (k.mem.0 == 0).then(|| "cell never written".to_string())
+        })
+        .unwrap();
+        assert!(stats.terminals > 0);
+    }
+
+    #[test]
+    fn dedup_prunes_converging_schedules() {
+        let k = racing_kernel();
+        let stats = explore(&k, ExploreBounds::default(), |_| Verdict::KeepGoing);
+        assert!(stats.deduped > 0, "expected convergent interleavings to dedup");
+    }
+
+    #[test]
+    fn step_bound_truncates() {
+        let k = racing_kernel();
+        let stats = explore(
+            &k,
+            ExploreBounds { max_depth: 10_000, max_total_steps: 2 },
+            |_| Verdict::KeepGoing,
+        );
+        assert!(stats.truncated);
+    }
+}

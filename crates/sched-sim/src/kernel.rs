@@ -1,0 +1,956 @@
+//! The simulation kernel: a multiprogrammed system of processors, each with
+//! a hybrid (priority + quantum) scheduler, executing step machines one
+//! atomic statement at a time.
+//!
+//! The kernel implements the paper's execution model (Sec. 2) exactly:
+//!
+//! * Each process is pinned to one processor and has a static priority.
+//! * **Axiom 1**: a processor always executes a maximal-priority ready
+//!   process; a higher-priority process that becomes ready preempts
+//!   immediately (i.e., it takes the processor's next statement).
+//! * **Axiom 2**: processor time among equal-priority processes is
+//!   allocated in quantum *windows*. While a window is open, only its
+//!   holder may execute at that priority level; the window closes when the
+//!   holder has executed `Q` of its own statements (higher-priority
+//!   interleavings do not count against it), when the holder's object
+//!   invocation terminates, or when the holder finishes. A process's very
+//!   first window may be shorter than `Q` — its execution "may arbitrarily
+//!   align with the next quantum boundary".
+//! * Quantum allocation may be unfair: a ready process may be starved
+//!   forever, modeling halting failures. Fairness is a property of the
+//!   [`Decider`], not the kernel.
+//! * Cross-processor interleaving is fully asynchronous (chosen by the
+//!   decider), so consensus numbers retain their usual meaning across
+//!   processors.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::decision::{Choice, Decider};
+use crate::history::{Event, EventKind, History, ProcInfo, StmtEffect};
+use crate::ids::{ProcessId, ProcessorId, Priority};
+use crate::machine::{StepCtx, StepMachine, StepOutcome};
+
+/// How a process's first quantum window is sized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FirstCreditMode {
+    /// First windows are always full (`Q`): dispatches align with quantum
+    /// boundaries. The benign default.
+    #[default]
+    Aligned,
+    /// The decider chooses the first window size in `1..=Q`, modeling the
+    /// paper's "first quantum preemption at any time". Required by the
+    /// adversaries of the lower-bound experiments and used by randomized
+    /// stress tests.
+    Adversarial,
+}
+
+/// Static configuration of a simulated system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemSpec {
+    /// The scheduling quantum `Q`, in atomic statements. `0` models a pure
+    /// priority-scheduled system degenerately (every window closes
+    /// immediately, so equal-priority processes interleave freely —
+    /// see [`SystemSpec::pure_priority`]).
+    pub quantum: u32,
+    /// First-window sizing policy.
+    pub first_credit: FirstCreditMode,
+    /// Whether to record a full [`History`] (costs allocation per step).
+    pub record_history: bool,
+}
+
+impl SystemSpec {
+    /// A hybrid-scheduled system with quantum `q` and benign alignment.
+    pub fn hybrid(q: u32) -> Self {
+        SystemSpec { quantum: q, first_credit: FirstCreditMode::Aligned, record_history: false }
+    }
+
+    /// A *pure priority-scheduled* system: the quantum is zero, so
+    /// equal-priority processes may interleave at every statement. Any
+    /// algorithm correct for hybrid scheduling with quantum `Q` must also
+    /// be correct here when every priority level holds at most one process
+    /// (the classical priority-scheduled model of Ramamurthy et al.).
+    pub fn pure_priority() -> Self {
+        SystemSpec { quantum: 0, first_credit: FirstCreditMode::Aligned, record_history: false }
+    }
+
+    /// A *pure quantum-scheduled* system with quantum `q`: hybrid
+    /// scheduling where every process is given the same priority (the
+    /// caller is responsible for assigning equal priorities).
+    pub fn pure_quantum(q: u32) -> Self {
+        Self::hybrid(q)
+    }
+
+    /// Enables adversarial first-window sizing.
+    pub fn with_adversarial_alignment(mut self) -> Self {
+        self.first_credit = FirstCreditMode::Adversarial;
+        self
+    }
+
+    /// Enables history recording.
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// Per-process runtime status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Not yet eligible: invisible to its scheduler until released.
+    Held,
+    /// Eligible to execute.
+    Ready,
+    /// All invocations complete.
+    Finished,
+}
+
+/// Per-process statistics, maintained by the kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Atomic statements this process has executed.
+    pub own_steps: u64,
+    /// Times it was preempted mid-invocation by an equal-priority process
+    /// (a *quantum preemption*).
+    pub quantum_preemptions: u64,
+    /// Times it was preempted mid-invocation by higher-priority processes
+    /// only.
+    pub priority_preemptions: u64,
+    /// Object invocations completed.
+    pub completed: u64,
+}
+
+struct ProcEntry<M> {
+    pid: ProcessId,
+    cpu: ProcessorId,
+    prio: Priority,
+    machine: Box<dyn StepMachine<M>>,
+    status: Status,
+    /// Mid-invocation: executed a `Continue` statement more recently than
+    /// an invocation boundary.
+    mid_invocation: bool,
+    /// Dispatched at least once (first-window allowance consumed).
+    ever_dispatched: bool,
+    /// Set when another process on this cpu executed since this process's
+    /// last statement while it was mid-invocation.
+    interleaved_same: bool,
+    interleaved_higher: bool,
+    /// Global time of the current invocation's first statement.
+    inv_start: u64,
+    stats: ProcStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    holder: ProcessId,
+    prio: Priority,
+    /// Holder's own statements executed in this window.
+    count: u32,
+    /// Window size (usually `Q`; possibly smaller for a first window).
+    credit: u32,
+    open: bool,
+}
+
+/// A completed object invocation, recorded for linearizability oracles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Global statement time of the invocation's first statement.
+    pub start: u64,
+    /// Global statement time of completion (its last statement).
+    pub t: u64,
+    /// The invoking process.
+    pub pid: ProcessId,
+    /// Zero-based invocation index within that process.
+    pub inv_index: u32,
+    /// The invocation's output, as reported by the machine.
+    pub output: Option<u64>,
+}
+
+/// Report of one executed statement.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Global statement time (before this statement).
+    pub t: u64,
+    /// The process that executed.
+    pub pid: ProcessId,
+    /// Its processor.
+    pub cpu: ProcessorId,
+    /// Its priority.
+    pub prio: Priority,
+    /// The statement's outcome.
+    pub outcome: StepOutcome,
+    /// The statement's display label.
+    pub label: String,
+}
+
+/// Result of attempting one kernel step with a (possibly partial) choice
+/// script. See [`Kernel::step_scripted`].
+#[derive(Clone, Debug)]
+pub enum StepAttempt {
+    /// The statement executed.
+    Stepped(StepReport),
+    /// No process is ready anywhere; the system is quiescent.
+    Quiescent,
+    /// The script ran out at a decision with `arity` options; the kernel
+    /// state was **not** modified.
+    NeedChoice {
+        /// Number of available options at the pending decision.
+        arity: usize,
+        /// The pending decision's kind tag (`"cpu"`, `"holder"`,
+        /// `"first-credit"`).
+        kind: &'static str,
+    },
+}
+
+/// A multiprogrammed system simulation.
+///
+/// `M` is the shared memory type. Construct with [`Kernel::new`], add
+/// processes with [`Kernel::add_process`], then drive with
+/// [`Kernel::step`] / [`Kernel::run`].
+///
+/// # Examples
+///
+/// ```
+/// use sched_sim::kernel::{Kernel, SystemSpec};
+/// use sched_sim::machine::{FnMachine, StepOutcome};
+/// use sched_sim::ids::{ProcessorId, Priority};
+/// use sched_sim::decision::RoundRobin;
+///
+/// let mut k = Kernel::new(0u64, SystemSpec::hybrid(4));
+/// k.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+///     |mem: &mut u64, calls| {
+///         *mem += 1;
+///         if calls == 2 { (StepOutcome::Finished, Some(*mem)) }
+///         else { (StepOutcome::Continue, None) }
+///     })));
+/// let mut d = RoundRobin::new();
+/// let steps = k.run(&mut d, 100);
+/// assert_eq!(steps, 3);
+/// assert_eq!(k.mem, 3);
+/// ```
+pub struct Kernel<M> {
+    /// The shared memory, openly accessible to oracles and constructors.
+    pub mem: M,
+    quantum: u32,
+    first_credit: FirstCreditMode,
+    procs: Vec<ProcEntry<M>>,
+    /// One optional open window per (cpu, priority); sparse vec keyed by
+    /// cpu index, then searched by priority (few levels in practice).
+    windows: Vec<Vec<Window>>,
+    n_cpus: usize,
+    clock: u64,
+    record_history: bool,
+    history: History,
+    ops: Vec<OpRecord>,
+}
+
+impl<M: Clone> Clone for Kernel<M> {
+    fn clone(&self) -> Self {
+        Kernel {
+            mem: self.mem.clone(),
+            quantum: self.quantum,
+            first_credit: self.first_credit,
+            procs: self
+                .procs
+                .iter()
+                .map(|p| ProcEntry {
+                    pid: p.pid,
+                    cpu: p.cpu,
+                    prio: p.prio,
+                    machine: p.machine.box_clone(),
+                    status: p.status,
+                    mid_invocation: p.mid_invocation,
+                    ever_dispatched: p.ever_dispatched,
+                    interleaved_same: p.interleaved_same,
+                    interleaved_higher: p.interleaved_higher,
+                    inv_start: p.inv_start,
+                    stats: p.stats,
+                })
+                .collect(),
+            windows: self.windows.clone(),
+            n_cpus: self.n_cpus,
+            clock: self.clock,
+            record_history: self.record_history,
+            history: self.history.clone(),
+            ops: self.ops.clone(),
+        }
+    }
+}
+
+impl<M> Kernel<M> {
+    /// Creates a kernel over shared memory `mem` with the given spec.
+    pub fn new(mem: M, spec: SystemSpec) -> Self {
+        Kernel {
+            mem,
+            quantum: spec.quantum,
+            first_credit: spec.first_credit,
+            procs: Vec::new(),
+            windows: Vec::new(),
+            n_cpus: 0,
+            clock: 0,
+            record_history: spec.record_history,
+            history: History { quantum: spec.quantum, procs: Vec::new(), events: Vec::new() },
+            ops: Vec::new(),
+        }
+    }
+
+    /// Adds a ready process pinned to `cpu` with priority `prio`.
+    /// Returns its [`ProcessId`] (assigned densely from 0).
+    pub fn add_process(
+        &mut self,
+        cpu: ProcessorId,
+        prio: Priority,
+        machine: Box<dyn StepMachine<M>>,
+    ) -> ProcessId {
+        self.add(cpu, prio, machine, false)
+    }
+
+    /// Adds a *held* process: ineligible (invisible to its scheduler) until
+    /// [`Kernel::release`] is called. Models delayed arrivals and the
+    /// lower-bound proofs' eligibility control.
+    pub fn add_held_process(
+        &mut self,
+        cpu: ProcessorId,
+        prio: Priority,
+        machine: Box<dyn StepMachine<M>>,
+    ) -> ProcessId {
+        self.add(cpu, prio, machine, true)
+    }
+
+    fn add(
+        &mut self,
+        cpu: ProcessorId,
+        prio: Priority,
+        machine: Box<dyn StepMachine<M>>,
+        held: bool,
+    ) -> ProcessId {
+        let pid = ProcessId(self.procs.len() as u32);
+        self.procs.push(ProcEntry {
+            pid,
+            cpu,
+            prio,
+            machine,
+            status: if held { Status::Held } else { Status::Ready },
+            mid_invocation: false,
+            ever_dispatched: false,
+            interleaved_same: false,
+            interleaved_higher: false,
+            inv_start: 0,
+            stats: ProcStats::default(),
+        });
+        self.n_cpus = self.n_cpus.max(cpu.index() + 1);
+        while self.windows.len() < self.n_cpus {
+            self.windows.push(Vec::new());
+        }
+        self.history.procs.push(ProcInfo { pid, cpu, prio, held });
+        pid
+    }
+
+    /// Releases a held process, making it ready. Under Axiom 1 it will
+    /// preempt any lower-priority process on its cpu at the very next
+    /// statement there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not held.
+    pub fn release(&mut self, pid: ProcessId) {
+        let p = &mut self.procs[pid.index()];
+        assert_eq!(p.status, Status::Held, "release of a non-held process");
+        p.status = Status::Ready;
+        if self.record_history {
+            self.history.events.push(Event {
+                t: self.clock,
+                pid,
+                cpu: p.cpu,
+                prio: p.prio,
+                kind: EventKind::Release,
+            });
+        }
+    }
+
+    /// The configured quantum `Q`.
+    pub fn quantum(&self) -> u32 {
+        self.quantum
+    }
+
+    /// The global statement count so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of processes.
+    pub fn n_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The output of `pid`'s most recently completed invocation.
+    pub fn output(&self, pid: ProcessId) -> Option<u64> {
+        self.procs[pid.index()].machine.output()
+    }
+
+    /// Whether `pid` has finished all invocations.
+    pub fn is_finished(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].status == Status::Finished
+    }
+
+    /// Whether every process has finished.
+    pub fn all_finished(&self) -> bool {
+        self.procs.iter().all(|p| p.status == Status::Finished)
+    }
+
+    /// Statistics for `pid`.
+    pub fn stats(&self, pid: ProcessId) -> ProcStats {
+        self.procs[pid.index()].stats
+    }
+
+    /// The recorded history (empty unless the spec enabled recording).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Completed invocations, in completion order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Processors with at least one ready process, ascending.
+    pub fn runnable_cpus(&self) -> Vec<ProcessorId> {
+        let mut v: Vec<ProcessorId> = self
+            .procs
+            .iter()
+            .filter(|p| p.status == Status::Ready)
+            .map(|p| p.cpu)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn ready_at(&self, cpu: ProcessorId, prio: Priority) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .filter(|p| p.status == Status::Ready && p.cpu == cpu && p.prio == prio)
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    fn top_priority(&self, cpu: ProcessorId) -> Option<Priority> {
+        self.procs
+            .iter()
+            .filter(|p| p.status == Status::Ready && p.cpu == cpu)
+            .map(|p| p.prio)
+            .max()
+    }
+
+    /// Core dispatch-and-execute, parametric in a fallible choice source.
+    /// **No state is mutated until every needed choice has been supplied**,
+    /// so a `None` from the source aborts the step cleanly.
+    fn step_core(
+        &mut self,
+        choose: &mut dyn FnMut(Choice<'_>, usize) -> Option<usize>,
+    ) -> StepAttempt {
+        // --- read-only phase: resolve all decisions ---
+        let cpus = self.runnable_cpus();
+        if cpus.is_empty() {
+            return StepAttempt::Quiescent;
+        }
+        let cpu = if cpus.len() == 1 {
+            cpus[0]
+        } else {
+            match choose(Choice::Cpu { options: &cpus }, cpus.len()) {
+                Some(i) => {
+                    assert!(i < cpus.len(), "cpu choice out of range");
+                    cpus[i]
+                }
+                None => return StepAttempt::NeedChoice { arity: cpus.len(), kind: "cpu" },
+            }
+        };
+        let prio = self.top_priority(cpu).expect("runnable cpu has a top priority");
+        // Is there an open window at (cpu, prio) whose holder must continue?
+        let win = self.windows[cpu.index()]
+            .iter()
+            .find(|w| w.prio == prio && w.open)
+            .copied();
+        let must_continue = win.and_then(|w| {
+            let h = &self.procs[w.holder.index()];
+            (h.status == Status::Ready && w.count < w.credit).then_some(w.holder)
+        });
+        let (pid, new_window_credit) = match must_continue {
+            Some(h) => (h, None),
+            None => {
+                let cands = self.ready_at(cpu, prio);
+                debug_assert!(!cands.is_empty());
+                let chosen = if cands.len() == 1 {
+                    cands[0]
+                } else {
+                    match choose(
+                        Choice::Holder { cpu, prio, options: &cands },
+                        cands.len(),
+                    ) {
+                        Some(i) => {
+                            assert!(i < cands.len(), "holder choice out of range");
+                            cands[i]
+                        }
+                        None => {
+                            return StepAttempt::NeedChoice {
+                                arity: cands.len(),
+                                kind: "holder",
+                            }
+                        }
+                    }
+                };
+                let q = self.quantum.max(1);
+                let credit = if !self.procs[chosen.index()].ever_dispatched
+                    && self.first_credit == FirstCreditMode::Adversarial
+                    && q > 1
+                {
+                    match choose(Choice::FirstCredit { pid: chosen, quantum: q }, q as usize) {
+                        Some(i) => {
+                            assert!(i < q as usize, "first-credit choice out of range");
+                            i as u32 + 1
+                        }
+                        None => {
+                            return StepAttempt::NeedChoice {
+                                arity: q as usize,
+                                kind: "first-credit",
+                            }
+                        }
+                    }
+                } else {
+                    q
+                };
+                (chosen, Some(credit))
+            }
+        };
+
+        // --- mutation phase ---
+        if let Some(credit) = new_window_credit {
+            // Opening a fresh window. If the previous window's holder is
+            // still ready mid-invocation and is being displaced, that is a
+            // quantum preemption (lawful: its window was exhausted or
+            // closed).
+            if let Some(w) = win {
+                if w.holder != pid {
+                    let victim = &mut self.procs[w.holder.index()];
+                    if victim.status == Status::Ready && victim.mid_invocation {
+                        victim.stats.quantum_preemptions += 1;
+                    }
+                }
+            }
+            self.windows[cpu.index()].retain(|w| w.prio != prio);
+            self.windows[cpu.index()].push(Window {
+                holder: pid,
+                prio,
+                count: 0,
+                credit,
+                open: true,
+            });
+        }
+
+        let t = self.clock;
+        let idx = pid.index();
+        // Interleaving bookkeeping: mark every other mid-invocation process
+        // on this cpu as interleaved, and account a preemption episode for
+        // this process if it was interleaved since its last statement.
+        let stepper_prio = prio;
+        for p in &mut self.procs {
+            if p.pid != pid && p.cpu == cpu && p.mid_invocation && p.status == Status::Ready {
+                if p.prio == stepper_prio {
+                    p.interleaved_same = true;
+                } else if p.prio < stepper_prio {
+                    p.interleaved_higher = true;
+                }
+            }
+        }
+        {
+            let p = &mut self.procs[idx];
+            if p.interleaved_same {
+                // already counted as quantum preemption at displacement time
+            } else if p.interleaved_higher {
+                p.stats.priority_preemptions += 1;
+            }
+            p.interleaved_same = false;
+            p.interleaved_higher = false;
+            p.ever_dispatched = true;
+        }
+
+        if !self.procs[idx].mid_invocation {
+            // First statement of a new invocation.
+            self.procs[idx].inv_start = t;
+        }
+        let mut ctx = StepCtx::new(pid);
+        // Split borrow: machine vs memory.
+        let outcome = {
+            let p = &mut self.procs[idx];
+            p.machine.step(&mut self.mem, &mut ctx)
+        };
+        let label = ctx.take_label().unwrap_or_default();
+        self.clock += 1;
+
+        // Window and status updates.
+        let w = self.windows[cpu.index()]
+            .iter_mut()
+            .find(|w| w.prio == prio && w.open)
+            .expect("window opened above");
+        debug_assert_eq!(w.holder, pid);
+        w.count += 1;
+        let (effect, finished) = match outcome {
+            StepOutcome::Continue => (StmtEffect::Continue, false),
+            StepOutcome::InvocationEnd => (StmtEffect::InvocationEnd, false),
+            StepOutcome::Finished => (StmtEffect::Finished, true),
+        };
+        // The window closes at invocation boundaries. On quantum expiry it
+        // stays open-but-exhausted so that the next dispatch can observe the
+        // displaced holder and account the quantum preemption.
+        if effect != StmtEffect::Continue {
+            w.open = false;
+        }
+        let output = {
+            let p = &mut self.procs[idx];
+            p.mid_invocation = effect == StmtEffect::Continue;
+            p.stats.own_steps += 1;
+            if finished {
+                p.status = Status::Finished;
+            }
+            if effect != StmtEffect::Continue {
+                p.stats.completed += 1;
+                p.machine.output()
+            } else {
+                None
+            }
+        };
+        if effect != StmtEffect::Continue {
+            self.ops.push(OpRecord {
+                start: self.procs[idx].inv_start,
+                t,
+                pid,
+                inv_index: self.procs[idx].machine_inv_index(),
+                output,
+            });
+        }
+        if self.record_history {
+            self.history.events.push(Event {
+                t,
+                pid,
+                cpu,
+                prio,
+                kind: EventKind::Stmt { label: label.clone(), effect, output },
+            });
+        }
+        StepAttempt::Stepped(StepReport { t, pid, cpu, prio, outcome, label })
+    }
+
+    /// Executes one atomic statement, resolving decisions via `decider`.
+    ///
+    /// Returns `None` when the system is quiescent (no ready process).
+    pub fn step(&mut self, decider: &mut dyn Decider) -> Option<StepReport> {
+        match self.step_core(&mut |c, n| Some(decider.choose(c, n))) {
+            StepAttempt::Stepped(r) => Some(r),
+            StepAttempt::Quiescent => None,
+            StepAttempt::NeedChoice { .. } => unreachable!("decider always answers"),
+        }
+    }
+
+    /// Attempts one statement using only the choices in `script` (consumed
+    /// left to right). If the script runs out at a decision point, returns
+    /// [`StepAttempt::NeedChoice`] **without modifying any state** — the
+    /// exhaustive explorer forks here.
+    pub fn step_scripted(&mut self, script: &[usize]) -> StepAttempt {
+        let mut i = 0;
+        self.step_core(&mut |_c, _n| {
+            if i < script.len() {
+                let v = script[i];
+                i += 1;
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Runs until quiescent or `max_steps` statements, whichever first.
+    /// Returns the number of statements executed.
+    pub fn run(&mut self, decider: &mut dyn Decider, max_steps: u64) -> u64 {
+        let mut n = 0;
+        while n < max_steps {
+            if self.step(decider).is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Hashes the complete scheduling-relevant state (memory, machines,
+    /// statuses, windows) for visited-state deduplication. Requires
+    /// `M: Hash`.
+    pub fn state_hash(&self) -> u64
+    where
+        M: Hash,
+    {
+        let mut h = DefaultHasher::new();
+        self.mem.hash(&mut h);
+        for p in &self.procs {
+            p.machine.state_key(&mut h);
+            (p.status == Status::Ready).hash(&mut h);
+            (p.status == Status::Finished).hash(&mut h);
+            p.mid_invocation.hash(&mut h);
+            p.ever_dispatched.hash(&mut h);
+        }
+        for ws in &self.windows {
+            for w in ws {
+                if w.open {
+                    w.holder.hash(&mut h);
+                    w.prio.hash(&mut h);
+                    w.count.hash(&mut h);
+                    w.credit.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+impl<M> ProcEntry<M> {
+    fn machine_inv_index(&self) -> u32 {
+        // Completed invocations = stats.completed; the op being recorded is
+        // the one that just completed.
+        (self.stats.completed - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::{RoundRobin, Scripted, SeededRandom};
+    use crate::history::check_well_formed;
+    use crate::machine::FnMachine;
+
+    /// A machine that appends its tag to a shared log, `len` statements per
+    /// invocation, `invs` invocations.
+    fn logger(tag: u64, len: u32, invs: u32) -> Box<dyn StepMachine<Vec<u64>>> {
+        Box::new(FnMachine::new(move |mem: &mut Vec<u64>, calls| {
+            mem.push(tag);
+            let done_in_inv = (calls + 1) % len == 0;
+            if done_in_inv && (calls + 1) / len >= invs {
+                (StepOutcome::Finished, Some(u64::from(calls + 1)))
+            } else if done_in_inv {
+                (StepOutcome::InvocationEnd, Some(u64::from(calls + 1)))
+            } else {
+                (StepOutcome::Continue, None)
+            }
+        }))
+    }
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4));
+        let p = k.add_process(ProcessorId(0), Priority(1), logger(7, 3, 1));
+        let mut d = RoundRobin::new();
+        assert_eq!(k.run(&mut d, 100), 3);
+        assert!(k.is_finished(p));
+        assert_eq!(k.mem, vec![7, 7, 7]);
+        assert_eq!(k.output(p), Some(3));
+    }
+
+    #[test]
+    fn axiom1_higher_priority_runs_first() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4));
+        let _lo = k.add_process(ProcessorId(0), Priority(1), logger(1, 3, 1));
+        let _hi = k.add_process(ProcessorId(0), Priority(2), logger(2, 3, 1));
+        let mut d = RoundRobin::new();
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![2, 2, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn axiom1_release_preempts_immediately() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(10));
+        let _lo = k.add_process(ProcessorId(0), Priority(1), logger(1, 6, 1));
+        let hi = k.add_held_process(ProcessorId(0), Priority(2), logger(2, 2, 1));
+        let mut d = RoundRobin::new();
+        // run two statements of lo, then release hi
+        k.step(&mut d);
+        k.step(&mut d);
+        k.release(hi);
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![1, 1, 2, 2, 1, 1, 1, 1]);
+        // lo was preempted once by a higher-priority process
+        assert_eq!(k.stats(ProcessId(0)).priority_preemptions, 1);
+    }
+
+    #[test]
+    fn axiom2_quantum_windows_round_robin() {
+        // Two equal-priority processes, quantum 2, invocation length 4:
+        // fair round-robin alternates windows of exactly 2 statements.
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(2));
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 4, 1));
+        k.add_process(ProcessorId(0), Priority(1), logger(2, 4, 1));
+        let mut d = RoundRobin::new();
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![1, 1, 2, 2, 1, 1, 2, 2]);
+        assert_eq!(k.stats(ProcessId(0)).quantum_preemptions, 1);
+        assert_eq!(k.stats(ProcessId(1)).quantum_preemptions, 1);
+    }
+
+    #[test]
+    fn window_survives_higher_priority_preemption() {
+        // Axiom 2: hi's arrival must not let the other equal-priority
+        // process slip in before lo finishes its quantum.
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4).with_history());
+        let _a = k.add_process(ProcessorId(0), Priority(1), logger(1, 4, 1));
+        let _b = k.add_process(ProcessorId(0), Priority(1), logger(2, 4, 1));
+        let hi = k.add_held_process(ProcessorId(0), Priority(2), logger(9, 2, 1));
+        let mut d = RoundRobin::new();
+        k.step(&mut d); // a: 1 stmt into its window
+        k.release(hi);
+        k.run(&mut d, 100);
+        // hi runs, then a RESUMES its window (3 more stmts) before b.
+        assert_eq!(k.mem, vec![1, 9, 9, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(check_well_formed(k.history()), Ok(()));
+    }
+
+    #[test]
+    fn invocation_end_closes_window() {
+        // Quantum 10 but invocations of length 2: windows close at
+        // invocation boundaries, so processes alternate every 2 statements.
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(10));
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 2, 2));
+        k.add_process(ProcessorId(0), Priority(1), logger(2, 2, 2));
+        let mut d = RoundRobin::new();
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![1, 1, 2, 2, 1, 1, 2, 2]);
+        // No quantum preemptions: all switches at invocation boundaries.
+        assert_eq!(k.stats(ProcessId(0)).quantum_preemptions, 0);
+        assert_eq!(k.stats(ProcessId(1)).quantum_preemptions, 0);
+    }
+
+    #[test]
+    fn multiprocessor_interleaving_is_decider_controlled() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4));
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 2, 1));
+        k.add_process(ProcessorId(1), Priority(1), logger(2, 2, 1));
+        // Script: cpu1, cpu0, cpu1, cpu0 (choices index into runnable list)
+        let mut d = Scripted::new(vec![1, 0, 1, 0]);
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn scripted_step_aborts_without_mutation() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4));
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 2, 1));
+        k.add_process(ProcessorId(1), Priority(1), logger(2, 2, 1));
+        let before = k.clock();
+        match k.step_scripted(&[]) {
+            StepAttempt::NeedChoice { arity, kind } => {
+                assert_eq!(arity, 2);
+                assert_eq!(kind, "cpu");
+            }
+            other => panic!("expected NeedChoice, got {other:?}"),
+        }
+        assert_eq!(k.clock(), before);
+        assert!(k.mem.is_empty());
+        // With a complete script the same step succeeds.
+        assert!(matches!(k.step_scripted(&[0]), StepAttempt::Stepped(_)));
+        assert_eq!(k.mem, vec![1]);
+    }
+
+    #[test]
+    fn adversarial_first_credit_allows_early_preemption() {
+        let mut k = Kernel::new(
+            Vec::new(),
+            SystemSpec::hybrid(4).with_adversarial_alignment().with_history(),
+        );
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 4, 1));
+        k.add_process(ProcessorId(0), Priority(1), logger(2, 4, 1));
+        // holder choice 0 (p0), first-credit choice 0 (credit 1), then
+        // holder p1 with full credit.
+        let mut d = Scripted::new(vec![0, 0, 1, 3]);
+        k.run(&mut d, 100);
+        assert_eq!(&k.mem[..5], &[1, 2, 2, 2, 2]);
+        // The short first window is lawful per the model.
+        assert_eq!(check_well_formed(k.history()), Ok(()));
+    }
+
+    #[test]
+    fn histories_from_random_runs_are_well_formed() {
+        for seed in 0..30 {
+            let mut k = Kernel::new(
+                Vec::new(),
+                SystemSpec::hybrid(3).with_adversarial_alignment().with_history(),
+            );
+            k.add_process(ProcessorId(0), Priority(1), logger(1, 5, 2));
+            k.add_process(ProcessorId(0), Priority(1), logger(2, 5, 2));
+            k.add_process(ProcessorId(0), Priority(2), logger(3, 4, 1));
+            k.add_process(ProcessorId(1), Priority(1), logger(4, 5, 1));
+            let mut d = SeededRandom::new(seed);
+            k.run(&mut d, 10_000);
+            assert!(k.all_finished());
+            check_well_formed(k.history()).unwrap_or_else(|v| {
+                panic!("seed {seed}: ill-formed history: {v}");
+            });
+        }
+    }
+
+    #[test]
+    fn ops_record_completions_in_order() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(8));
+        let p = k.add_process(ProcessorId(0), Priority(1), logger(1, 2, 3));
+        let mut d = RoundRobin::new();
+        k.run(&mut d, 100);
+        let ops = k.ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].pid, p);
+        assert_eq!(ops[0].inv_index, 0);
+        assert_eq!(ops[2].inv_index, 2);
+    }
+
+    #[test]
+    fn state_hash_changes_with_progress() {
+        let mut k = Kernel::new(0u64, SystemSpec::hybrid(4));
+        k.add_process(
+            ProcessorId(0),
+            Priority(1),
+            Box::new(FnMachine::new(|mem: &mut u64, calls| {
+                *mem += 1;
+                if calls == 1 {
+                    (StepOutcome::Finished, None)
+                } else {
+                    (StepOutcome::Continue, None)
+                }
+            })),
+        );
+        let h0 = k.state_hash();
+        let mut d = RoundRobin::new();
+        k.step(&mut d);
+        assert_ne!(h0, k.state_hash());
+    }
+
+    #[test]
+    fn clone_forks_independent_executions() {
+        let mut k = Kernel::new(Vec::new(), SystemSpec::hybrid(4));
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 3, 1));
+        let mut d = RoundRobin::new();
+        k.step(&mut d);
+        let mut k2 = k.clone();
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![1, 1, 1]);
+        assert_eq!(k2.mem, vec![1]);
+        let mut d2 = RoundRobin::new();
+        k2.run(&mut d2, 100);
+        assert_eq!(k2.mem, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn quantum_zero_means_free_interleaving() {
+        // Pure priority-scheduled degeneration: equal-priority processes
+        // may alternate at every statement.
+        let mut k = Kernel::new(Vec::new(), SystemSpec::pure_priority());
+        k.add_process(ProcessorId(0), Priority(1), logger(1, 3, 1));
+        k.add_process(ProcessorId(0), Priority(1), logger(2, 3, 1));
+        let mut d = RoundRobin::new();
+        k.run(&mut d, 100);
+        assert_eq!(k.mem, vec![1, 2, 1, 2, 1, 2]);
+    }
+}

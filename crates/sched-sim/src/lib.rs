@@ -1,0 +1,66 @@
+//! Deterministic statement-level simulation of multiprogrammed systems
+//! with hybrid (priority + quantum) schedulers.
+//!
+//! This crate is the execution-model substrate for the `hybrid-wf`
+//! workspace, which reproduces Anderson & Moir, *"Wait-Free Synchronization
+//! in Multiprogrammed Systems: Integrating Priority-Based and Quantum-Based
+//! Scheduling"* (PODC 1999). The paper models computation as interleavings
+//! of *atomic statements*, with a scheduling quantum measured as a
+//! statement count; this crate implements that model directly:
+//!
+//! * [`machine::StepMachine`] — a process; one `step` = one atomic
+//!   statement. Most algorithms are written in the [`program`] DSL, which
+//!   transcribes the paper's numbered listings line for line.
+//! * [`kernel::Kernel`] — a system of processors, each with a hybrid
+//!   scheduler enforcing the paper's Axiom 1 (priority) and Axiom 2
+//!   (quantum windows that survive higher-priority preemption).
+//! * [`decision::Decider`] — all scheduling nondeterminism in one trait:
+//!   fair round-robin, seeded random, scripted, and (elsewhere) the
+//!   adversaries of the lower-bound proofs.
+//! * [`history`] — recorded histories plus an independent well-formedness
+//!   checker for the two axioms.
+//! * [`trace`] — interleaving diagrams in the style of the paper's
+//!   Figs. 1–2.
+//! * [`explore`] — exhaustive schedule enumeration (bounded model
+//!   checking) for small configurations.
+//!
+//! # Quick example
+//!
+//! Two equal-priority processes sharing one processor with quantum 2:
+//!
+//! ```
+//! use sched_sim::decision::RoundRobin;
+//! use sched_sim::ids::{ProcessorId, Priority};
+//! use sched_sim::kernel::{Kernel, SystemSpec};
+//! use sched_sim::machine::{FnMachine, StepOutcome};
+//!
+//! let mut k = Kernel::new(Vec::<u64>::new(), SystemSpec::hybrid(2));
+//! for tag in [1u64, 2] {
+//!     k.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+//!         move |mem: &mut Vec<u64>, calls| {
+//!             mem.push(tag);
+//!             if calls == 3 { (StepOutcome::Finished, None) }
+//!             else { (StepOutcome::Continue, None) }
+//!         })));
+//! }
+//! k.run(&mut RoundRobin::new(), 100);
+//! // Quantum windows of exactly two statements alternate:
+//! assert_eq!(k.mem, vec![1, 1, 2, 2, 1, 1, 2, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod explore;
+pub mod history;
+pub mod ids;
+pub mod kernel;
+pub mod machine;
+pub mod program;
+pub mod trace;
+
+pub use decision::{Decider, RoundRobin, Scripted, SeededRandom};
+pub use ids::{ProcessId, ProcessorId, Priority};
+pub use kernel::{Kernel, SystemSpec};
+pub use machine::{StepCtx, StepMachine, StepOutcome};

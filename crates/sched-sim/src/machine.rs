@@ -1,0 +1,194 @@
+//! The process abstraction: a step machine executing one atomic statement
+//! per [`StepMachine::step`] call.
+
+use core::hash::Hasher;
+
+use crate::ids::ProcessId;
+
+/// The result of executing one atomic statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The process has more statements in its current object invocation.
+    Continue,
+    /// The statement completed the current object invocation; the process
+    /// has at least one further invocation to perform. Quantum windows close
+    /// at invocation boundaries ("…or until its current object invocation
+    /// terminates"), so this outcome matters to the scheduler.
+    InvocationEnd,
+    /// The statement completed the process's last invocation; the process
+    /// leaves the ready set permanently (it "thinks" forever).
+    Finished,
+}
+
+/// Context handed to a machine for each statement execution.
+///
+/// The machine uses it to learn its own identity and to label the statement
+/// for history recording and trace rendering.
+#[derive(Debug)]
+pub struct StepCtx {
+    /// The identity of the executing process.
+    pub pid: ProcessId,
+    pub(crate) label: Option<String>,
+}
+
+impl StepCtx {
+    /// Creates a context for `pid`. The kernel constructs one per statement;
+    /// exposed publicly so machines can be driven directly in tests.
+    pub fn new(pid: ProcessId) -> Self {
+        StepCtx { pid, label: None }
+    }
+
+    /// Labels the statement being executed (e.g. `"3: w := P[i]"`).
+    /// The label appears in histories and rendered traces.
+    pub fn label(&mut self, s: impl Into<String>) {
+        self.label = Some(s.into());
+    }
+
+    pub(crate) fn take_label(&mut self) -> Option<String> {
+        self.label.take()
+    }
+}
+
+/// A process, modeled as a machine that executes exactly one *atomic
+/// statement* per [`step`](StepMachine::step) call against the shared
+/// memory `M`.
+///
+/// This is the paper's execution model: "each numbered statement is assumed
+/// to be atomic", and a quantum is a statement count. Implementations must
+/// be deterministic — any randomness belongs in the construction, not the
+/// steps — so that simulations replay exactly from a schedule script.
+///
+/// Most algorithm machines are built with the [`crate::program`] DSL rather
+/// than implemented by hand.
+pub trait StepMachine<M>: Send {
+    /// Executes the next atomic statement against `mem`.
+    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx) -> StepOutcome;
+
+    /// The output of the most recently completed invocation, if any.
+    ///
+    /// Test oracles use this to check agreement and linearizability without
+    /// reaching into machine internals.
+    fn output(&self) -> Option<u64> {
+        None
+    }
+
+    /// Clones the machine, preserving its full execution state.
+    ///
+    /// Required so the exhaustive explorer can fork simulations at decision
+    /// points.
+    fn box_clone(&self) -> Box<dyn StepMachine<M>>;
+
+    /// Feeds the machine's full execution state into `h`.
+    ///
+    /// Used by the explorer for visited-state de-duplication; two machines
+    /// that hash differently may be treated as distinct states, so hashing
+    /// *less* state is safe but slower, hashing *more* is a bug.
+    fn state_key(&self, h: &mut dyn Hasher);
+}
+
+impl<M> Clone for Box<dyn StepMachine<M>> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A machine built from a closure, for tests and tiny fixtures.
+///
+/// The closure is called once per statement with `(mem, call_count)` and
+/// returns the outcome; `output` reports the value recorded via the second
+/// closure slot.
+pub struct FnMachine<M> {
+    f: std::sync::Arc<dyn Fn(&mut M, u32) -> (StepOutcome, Option<u64>) + Send + Sync>,
+    calls: u32,
+    out: Option<u64>,
+}
+
+impl<M> FnMachine<M> {
+    /// Creates a machine from `f`, which receives the shared memory and the
+    /// number of statements executed so far and returns the step outcome
+    /// plus an optional invocation output.
+    pub fn new(
+        f: impl Fn(&mut M, u32) -> (StepOutcome, Option<u64>) + Send + Sync + 'static,
+    ) -> Self {
+        FnMachine { f: std::sync::Arc::new(f), calls: 0, out: None }
+    }
+}
+
+impl<M> Clone for FnMachine<M> {
+    fn clone(&self) -> Self {
+        FnMachine { f: self.f.clone(), calls: self.calls, out: self.out }
+    }
+}
+
+impl<M: 'static> StepMachine<M> for FnMachine<M> {
+    fn step(&mut self, mem: &mut M, _ctx: &mut StepCtx) -> StepOutcome {
+        let (o, out) = (self.f)(mem, self.calls);
+        self.calls += 1;
+        if out.is_some() {
+            self.out = out;
+        }
+        o
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+
+    fn box_clone(&self) -> Box<dyn StepMachine<M>> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self, h: &mut dyn Hasher) {
+        h.write_u32(self.calls);
+        h.write_u64(self.out.map_or(u64::MAX, |v| v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_machine_counts_calls_and_records_output() {
+        let mut m = FnMachine::new(|mem: &mut u64, calls| {
+            *mem += 1;
+            if calls == 2 {
+                (StepOutcome::Finished, Some(99))
+            } else {
+                (StepOutcome::Continue, None)
+            }
+        });
+        let mut mem = 0u64;
+        let mut ctx = StepCtx::new(ProcessId(0));
+        assert_eq!(m.step(&mut mem, &mut ctx), StepOutcome::Continue);
+        assert_eq!(m.step(&mut mem, &mut ctx), StepOutcome::Continue);
+        assert_eq!(m.step(&mut mem, &mut ctx), StepOutcome::Finished);
+        assert_eq!(mem, 3);
+        assert_eq!(m.output(), Some(99));
+    }
+
+    #[test]
+    fn box_clone_preserves_state() {
+        let mut m = FnMachine::new(|_: &mut u64, calls| {
+            if calls >= 1 {
+                (StepOutcome::Finished, Some(1))
+            } else {
+                (StepOutcome::Continue, None)
+            }
+        });
+        let mut mem = 0u64;
+        let mut ctx = StepCtx::new(ProcessId(0));
+        m.step(&mut mem, &mut ctx);
+        let mut c: Box<dyn StepMachine<u64>> = m.box_clone();
+        // The clone is one step from finishing, same as the original.
+        assert_eq!(c.step(&mut mem, &mut ctx), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn ctx_label_roundtrip() {
+        let mut ctx = StepCtx::new(ProcessId(3));
+        ctx.label("1: v := val");
+        assert_eq!(ctx.take_label().as_deref(), Some("1: v := val"));
+        assert_eq!(ctx.take_label(), None);
+    }
+}

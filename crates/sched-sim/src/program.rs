@@ -1,0 +1,680 @@
+//! A tiny structured-program representation whose unit of execution is one
+//! atomic statement.
+//!
+//! The paper presents its algorithms as numbered statements (Figs. 3, 5, 7,
+//! 9), each assumed atomic, with quanta measured in statements executed.
+//! This module lets those listings be transcribed line-for-line: a
+//! [`Program`] is a set of procedures, each a list of [`Stmt`]s; a
+//! [`ProgMachine`] runs a program one *counted* statement per scheduler
+//! step, with uncounted statements available for pure control flow that the
+//! paper does not number (loop headers, procedure dispatch).
+//!
+//! # Examples
+//!
+//! A two-statement program that increments a shared counter and returns it:
+//!
+//! ```
+//! use sched_sim::program::{Flow, ProgramBuilder, ProgMachine};
+//! use sched_sim::machine::{StepCtx, StepMachine, StepOutcome};
+//! use sched_sim::ids::ProcessId;
+//!
+//! #[derive(Clone, Hash, Default)]
+//! struct Locals { got: u64 }
+//!
+//! let mut b = ProgramBuilder::<Locals, u64>::new();
+//! let main = b.proc("main");
+//! b.stmt(main, "1: mem += 1", |_l, mem| { *mem += 1; Flow::Next });
+//! b.stmt(main, "2: return mem", |l, mem| { l.got = *mem; Flow::Return });
+//! let prog = b.build();
+//!
+//! let mut m = ProgMachine::single_shot(&prog, Locals::default(), main)
+//!     .with_output(|l| Some(l.got));
+//! let mut mem = 0u64;
+//! let mut ctx = StepCtx::new(ProcessId(0));
+//! assert_eq!(m.step(&mut mem, &mut ctx), StepOutcome::Continue);
+//! assert_eq!(m.step(&mut mem, &mut ctx), StepOutcome::Finished);
+//! assert_eq!(m.output(), Some(1));
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::machine::{StepCtx, StepMachine, StepOutcome};
+
+/// Refers to a procedure of a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProcRef(usize);
+
+/// Refers to a statement position, for `goto` targets. Labels are declared
+/// with [`ProgramBuilder::label`] and bound with [`ProgramBuilder::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Control transfer returned by a statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Fall through to the next statement of the current procedure.
+    Next,
+    /// Jump to a bound label in the current procedure.
+    Goto(Label),
+    /// Call a procedure; on return, resume at the next statement.
+    Call(ProcRef),
+    /// Call a procedure; on return, resume at `resume`.
+    CallThen {
+        /// The procedure to call.
+        proc: ProcRef,
+        /// Where to resume in the current procedure after the call returns.
+        resume: Label,
+    },
+    /// Return from the current procedure. Returning from the entry
+    /// procedure completes the current object invocation.
+    Return,
+    /// Terminate the whole process immediately (all invocations abandoned).
+    Finish,
+}
+
+type StmtFn<L, M> = Arc<dyn Fn(&mut L, &mut M) -> Flow + Send + Sync>;
+
+/// One statement: a display label, whether it is a *counted* atomic
+/// statement (it consumes quantum) and its effect.
+pub struct Stmt<L, M> {
+    name: String,
+    counted: bool,
+    run: StmtFn<L, M>,
+}
+
+struct ProcDef<L, M> {
+    name: String,
+    stmts: Vec<Stmt<L, M>>,
+}
+
+/// An immutable program: procedures of atomic statements. Construct with
+/// [`ProgramBuilder`]; execute with [`ProgMachine`]. Programs are shared by
+/// reference ([`Arc`]) among the machines running them.
+pub struct Program<L, M> {
+    procs: Vec<ProcDef<L, M>>,
+    /// label -> (proc index, stmt index)
+    labels: Vec<(usize, usize)>,
+}
+
+impl<L, M> Program<L, M> {
+    /// The name of procedure `p`.
+    pub fn proc_name(&self, p: ProcRef) -> &str {
+        &self.procs[p.0].name
+    }
+
+    /// Number of statements in procedure `p`.
+    pub fn proc_len(&self, p: ProcRef) -> usize {
+        self.procs[p.0].stmts.len()
+    }
+}
+
+/// Builds a [`Program`].
+///
+/// Procedures and labels may be declared before the statements that use or
+/// bind them, so forward `goto`s and mutually recursive calls are easy to
+/// transcribe. [`ProgramBuilder::build`] validates that every label is
+/// bound and every procedure is nonempty.
+pub struct ProgramBuilder<L, M> {
+    procs: Vec<ProcDef<L, M>>,
+    labels: Vec<Option<(usize, usize)>>,
+}
+
+impl<L, M> Default for ProgramBuilder<L, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L, M> ProgramBuilder<L, M> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder { procs: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Declares a procedure named `name`.
+    pub fn proc(&mut self, name: &str) -> ProcRef {
+        self.procs.push(ProcDef { name: name.to_string(), stmts: Vec::new() });
+        ProcRef(self.procs.len() - 1)
+    }
+
+    /// Declares an unbound label (a forward jump target).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the *next* statement appended to `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, proc: ProcRef, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some((proc.0, self.procs[proc.0].stmts.len()));
+    }
+
+    /// Declares a label bound to the next statement of `proc` (shorthand
+    /// for [`label`](Self::label) + [`bind`](Self::bind)).
+    pub fn here(&mut self, proc: ProcRef) -> Label {
+        let l = self.label();
+        self.bind(proc, l);
+        l
+    }
+
+    /// Appends a *counted* atomic statement to `proc`.
+    ///
+    /// Counted statements are the paper's numbered statements: each consumes
+    /// one unit of quantum. By convention a counted statement performs at
+    /// most one shared-memory access (the implementations transcribe the
+    /// paper's numbering).
+    pub fn stmt(
+        &mut self,
+        proc: ProcRef,
+        name: &str,
+        f: impl Fn(&mut L, &mut M) -> Flow + Send + Sync + 'static,
+    ) {
+        self.procs[proc.0].stmts.push(Stmt {
+            name: name.to_string(),
+            counted: true,
+            run: Arc::new(f),
+        });
+    }
+
+    /// Appends an *uncounted* statement: pure local control flow (loop
+    /// headers, call dispatch) that the paper does not number. Uncounted
+    /// statements must not access shared memory and must not complete an
+    /// invocation.
+    pub fn free(
+        &mut self,
+        proc: ProcRef,
+        name: &str,
+        f: impl Fn(&mut L, &mut M) -> Flow + Send + Sync + 'static,
+    ) {
+        self.procs[proc.0].stmts.push(Stmt {
+            name: name.to_string(),
+            counted: false,
+            run: Arc::new(f),
+        });
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label was never bound, a label points past the end of
+    /// its procedure, or a procedure has no statements.
+    pub fn build(self) -> Arc<Program<L, M>> {
+        let labels: Vec<(usize, usize)> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.unwrap_or_else(|| panic!("label {i} never bound")))
+            .collect();
+        for (p, s) in &labels {
+            assert!(
+                *s < self.procs[*p].stmts.len(),
+                "label points past the end of procedure `{}`",
+                self.procs[*p].name
+            );
+        }
+        for p in &self.procs {
+            assert!(!p.stmts.is_empty(), "procedure `{}` has no statements", p.name);
+        }
+        Arc::new(Program { procs: self.procs, labels })
+    }
+}
+
+/// Chooses the entry procedure for each successive invocation of a process
+/// (the paper's nondeterministic operation selection at each
+/// thinking→ready transition, made deterministic per machine).
+///
+/// Receives the process locals (to set up operation arguments) and the
+/// invocation index; returns the entry procedure, or `None` when the
+/// process has no further invocations.
+pub type InvocationPlan<L> = Arc<dyn Fn(&mut L, u32) -> Option<ProcRef> + Send + Sync>;
+
+type OutputFn<L> = Arc<dyn Fn(&L) -> Option<u64> + Send + Sync>;
+
+/// Executes a [`Program`] one counted statement per step.
+///
+/// Cloneable (for the explorer) and hashable via
+/// [`StepMachine::state_key`], provided the locals are `Clone + Hash`.
+pub struct ProgMachine<L, M> {
+    prog: Arc<Program<L, M>>,
+    locals: L,
+    /// (proc index, pc) call stack; empty only when finished.
+    frames: Vec<(usize, usize)>,
+    inv_index: u32,
+    finished: bool,
+    plan: InvocationPlan<L>,
+    out_fn: OutputFn<L>,
+    out: Option<u64>,
+    /// Bound on consecutive uncounted statements, to catch control-flow
+    /// loops that would otherwise spin forever inside one step.
+    free_fuel: u32,
+}
+
+impl<L: Clone, M> Clone for ProgMachine<L, M> {
+    fn clone(&self) -> Self {
+        ProgMachine {
+            prog: self.prog.clone(),
+            locals: self.locals.clone(),
+            frames: self.frames.clone(),
+            inv_index: self.inv_index,
+            finished: self.finished,
+            plan: self.plan.clone(),
+            out_fn: self.out_fn.clone(),
+            out: self.out,
+            free_fuel: self.free_fuel,
+        }
+    }
+}
+
+impl<L, M> ProgMachine<L, M> {
+    /// A machine that performs a single invocation of `entry` and finishes.
+    pub fn single_shot(prog: &Arc<Program<L, M>>, locals: L, entry: ProcRef) -> Self {
+        Self::with_plan(
+            prog,
+            locals,
+            Arc::new(move |_l: &mut L, i| if i == 0 { Some(entry) } else { None }),
+        )
+    }
+
+    /// A machine whose successive invocations are chosen by `plan`.
+    pub fn with_plan(prog: &Arc<Program<L, M>>, locals: L, plan: InvocationPlan<L>) -> Self {
+        let mut m = ProgMachine {
+            prog: prog.clone(),
+            locals,
+            frames: Vec::new(),
+            inv_index: 0,
+            finished: false,
+            plan,
+            out_fn: Arc::new(|_| None),
+            out: None,
+            free_fuel: 4096,
+        };
+        m.start_invocation();
+        m
+    }
+
+    /// Sets the closure that extracts an invocation's output from the
+    /// locals when the invocation completes.
+    pub fn with_output(mut self, f: impl Fn(&L) -> Option<u64> + Send + Sync + 'static) -> Self {
+        self.out_fn = Arc::new(f);
+        self
+    }
+
+    /// Read access to the machine's locals (for test oracles).
+    pub fn locals(&self) -> &L {
+        &self.locals
+    }
+
+    /// The index of the invocation currently executing (or, if finished,
+    /// one past the last completed invocation).
+    pub fn invocation_index(&self) -> u32 {
+        self.inv_index
+    }
+
+    /// Whether the process has finished all its invocations.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn start_invocation(&mut self) {
+        debug_assert!(self.frames.is_empty());
+        match (self.plan)(&mut self.locals, self.inv_index) {
+            Some(entry) => self.frames.push((entry.0, 0)),
+            None => self.finished = true,
+        }
+    }
+
+    /// Applies `flow`; returns `true` if the invocation completed.
+    fn apply_flow(&mut self, flow: Flow) -> bool {
+        match flow {
+            Flow::Next => {
+                let top = self.frames.last_mut().expect("no frame");
+                top.1 += 1;
+                self.check_pc();
+                false
+            }
+            Flow::Goto(l) => {
+                let (lp, ls) = self.prog.labels[l.0];
+                let top = self.frames.last_mut().expect("no frame");
+                assert_eq!(lp, top.0, "goto across procedures");
+                top.1 = ls;
+                false
+            }
+            Flow::Call(p) => {
+                let top = self.frames.last_mut().expect("no frame");
+                top.1 += 1;
+                self.frames.push((p.0, 0));
+                false
+            }
+            Flow::CallThen { proc, resume } => {
+                let (lp, ls) = self.prog.labels[resume.0];
+                let top = self.frames.last_mut().expect("no frame");
+                assert_eq!(lp, top.0, "resume label in another procedure");
+                top.1 = ls;
+                self.frames.push((proc.0, 0));
+                false
+            }
+            Flow::Return => {
+                self.frames.pop();
+                self.frames.is_empty()
+            }
+            Flow::Finish => {
+                self.frames.clear();
+                self.finished = true;
+                true
+            }
+        }
+    }
+
+    fn check_pc(&self) {
+        let &(p, pc) = self.frames.last().expect("no frame");
+        assert!(
+            pc < self.prog.procs[p].stmts.len(),
+            "fell off the end of procedure `{}`",
+            self.prog.procs[p].name
+        );
+    }
+}
+
+impl<L, M> StepMachine<M> for ProgMachine<L, M>
+where
+    L: Clone + Hash + Send + 'static,
+    M: 'static,
+{
+    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx) -> StepOutcome {
+        assert!(!self.finished, "step called on a finished process");
+        let mut fuel = self.free_fuel;
+        loop {
+            let &(p, pc) = self.frames.last().expect("machine has no frame");
+            let stmt = &self.prog.procs[p].stmts[pc];
+            let counted = stmt.counted;
+            let name = stmt.name.clone();
+            let run = stmt.run.clone();
+            let flow = run(&mut self.locals, mem);
+            let inv_done = self.apply_flow(flow);
+            if inv_done {
+                assert!(
+                    counted,
+                    "invocation completed by uncounted statement `{name}`; \
+                     returns must be counted statements"
+                );
+                self.out = (self.out_fn)(&self.locals);
+                self.inv_index += 1;
+                if !self.finished {
+                    self.start_invocation();
+                }
+                ctx.label(name);
+                return if self.finished {
+                    StepOutcome::Finished
+                } else {
+                    StepOutcome::InvocationEnd
+                };
+            }
+            if counted {
+                ctx.label(name);
+                return StepOutcome::Continue;
+            }
+            fuel -= 1;
+            assert!(fuel > 0, "uncounted-statement loop detected at `{name}`");
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.out
+    }
+
+    fn box_clone(&self) -> Box<dyn StepMachine<M>> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self, h: &mut dyn Hasher) {
+        let mut inner = DefaultHasher::new();
+        self.locals.hash(&mut inner);
+        self.frames.hash(&mut inner);
+        self.inv_index.hash(&mut inner);
+        self.finished.hash(&mut inner);
+        self.out.hash(&mut inner);
+        h.write_u64(inner.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    #[derive(Clone, Hash, Default)]
+    struct L {
+        i: u64,
+        ret: u64,
+    }
+
+    fn ctx() -> StepCtx {
+        StepCtx::new(ProcessId(0))
+    }
+
+    #[test]
+    fn straight_line_program_runs_to_finish() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        b.stmt(main, "1", |_, m| {
+            *m += 10;
+            Flow::Next
+        });
+        b.stmt(main, "2", |l, m| {
+            l.ret = *m;
+            Flow::Return
+        });
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main)
+            .with_output(|l| Some(l.ret));
+        let mut mem = 5u64;
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Continue);
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(m.output(), Some(15));
+    }
+
+    #[test]
+    fn goto_loops_and_labels() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        let top = b.here(main);
+        b.stmt(main, "body", move |l, m| {
+            l.i += 1;
+            *m += 1;
+            if l.i < 3 {
+                Flow::Goto(top)
+            } else {
+                Flow::Return
+            }
+        });
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Continue);
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Continue);
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(mem, 3);
+    }
+
+    #[test]
+    fn procedure_call_and_return() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let sub = b.proc("sub");
+        let main = b.proc("main");
+        b.stmt(sub, "sub.1", |l, _| {
+            l.ret = 42;
+            Flow::Return
+        });
+        b.stmt(main, "main.1", move |_, _| Flow::Call(sub));
+        b.stmt(main, "main.2", |l, m| {
+            *m = l.ret;
+            Flow::Return
+        });
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Continue); // main.1 (call)
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Continue); // sub.1
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished); // main.2
+        assert_eq!(mem, 42);
+    }
+
+    #[test]
+    fn call_then_resumes_at_label() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let sub = b.proc("sub");
+        let main = b.proc("main");
+        b.stmt(sub, "sub.1", |_, m| {
+            *m += 1;
+            Flow::Return
+        });
+        let after = b.label();
+        b.stmt(main, "main.1", move |_, _| Flow::CallThen { proc: sub, resume: after });
+        b.stmt(main, "main.skip", |_, m| {
+            *m = 999; // must be skipped
+            Flow::Return
+        });
+        b.bind(main, after);
+        b.stmt(main, "main.2", |_, _| Flow::Return);
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        m.step(&mut mem, &mut ctx());
+        m.step(&mut mem, &mut ctx());
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(mem, 1);
+    }
+
+    #[test]
+    fn uncounted_statements_do_not_consume_a_step() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        b.free(main, "for-header", |l, _| {
+            l.i = 1;
+            Flow::Next
+        });
+        b.stmt(main, "1", |_, m| {
+            *m += 1;
+            Flow::Return
+        });
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        // One step executes both the free header and the counted statement.
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(mem, 1);
+    }
+
+    #[test]
+    fn multi_invocation_plan() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("op");
+        b.stmt(main, "1", |l, m| {
+            *m += l.i;
+            Flow::Return
+        });
+        let prog = b.build();
+        let plan: InvocationPlan<L> = Arc::new(move |l, k| {
+            if k < 3 {
+                l.i = u64::from(k) + 1;
+                Some(main)
+            } else {
+                None
+            }
+        });
+        let mut m = ProgMachine::with_plan(&prog, L::default(), plan);
+        let mut mem = 0u64;
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::InvocationEnd);
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::InvocationEnd);
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(mem, 1 + 2 + 3);
+        assert_eq!(m.invocation_index(), 3);
+    }
+
+    #[test]
+    fn finish_flow_abandons_remaining_invocations() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("op");
+        b.stmt(main, "1", |_, _| Flow::Finish);
+        let prog = b.build();
+        let plan: InvocationPlan<L> = Arc::new(move |_, _| Some(main)); // endless plan
+        let mut m = ProgMachine::with_plan(&prog, L::default(), plan);
+        let mut mem = 0u64;
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn clone_preserves_execution_state() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        b.stmt(main, "1", |_, m| {
+            *m += 1;
+            Flow::Next
+        });
+        b.stmt(main, "2", |_, m| {
+            *m += 10;
+            Flow::Return
+        });
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        m.step(&mut mem, &mut ctx());
+        let mut c = m.clone();
+        let mut mem2 = mem;
+        assert_eq!(c.step(&mut mem2, &mut ctx()), StepOutcome::Finished);
+        assert_eq!(mem2, 11);
+        // Original unaffected by the clone's step.
+        assert_eq!(m.step(&mut mem, &mut ctx()), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn state_key_distinguishes_positions() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        b.stmt(main, "1", |_, _| Flow::Next);
+        b.stmt(main, "2", |_, _| Flow::Return);
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let key = |m: &ProgMachine<L, u64>| {
+            let mut h = DefaultHasher::new();
+            m.state_key(&mut h);
+            h.finish()
+        };
+        let k0 = key(&m);
+        let mut mem = 0u64;
+        m.step(&mut mem, &mut ctx());
+        assert_ne!(k0, key(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "label 0 never bound")]
+    fn unbound_label_panics_at_build() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        let _l = b.label();
+        b.stmt(main, "1", |_, _| Flow::Return);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "uncounted-statement loop")]
+    fn uncounted_loop_is_detected() {
+        let mut b = ProgramBuilder::<L, u64>::new();
+        let main = b.proc("main");
+        let top = b.here(main);
+        b.free(main, "spin", move |_, _| Flow::Goto(top));
+        let prog = b.build();
+        let mut m = ProgMachine::single_shot(&prog, L::default(), main);
+        let mut mem = 0u64;
+        let _ = m.step(&mut mem, &mut ctx());
+    }
+}

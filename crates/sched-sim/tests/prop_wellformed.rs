@@ -1,0 +1,55 @@
+//! Property test: every history the kernel produces — for arbitrary
+//! process shapes, priorities, quanta, and random schedules — satisfies
+//! the paper's well-formedness condition (Axioms 1 and 2), as judged by
+//! the independent checker.
+
+use proptest::prelude::*;
+use sched_sim::history::check_well_formed;
+use sched_sim::machine::{FnMachine, StepOutcome};
+use sched_sim::{Kernel, ProcessorId, Priority, SeededRandom, SystemSpec};
+
+fn worker(len: u32, invs: u32) -> Box<dyn sched_sim::StepMachine<u64>> {
+    Box::new(FnMachine::new(move |mem: &mut u64, calls| {
+        *mem += 1;
+        let end = (calls + 1) % len == 0;
+        if end && (calls + 1) / len >= invs {
+            (StepOutcome::Finished, Some(*mem))
+        } else if end {
+            (StepOutcome::InvocationEnd, Some(*mem))
+        } else {
+            (StepOutcome::Continue, None)
+        }
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_runs_are_well_formed(
+        seed in 0u64..10_000,
+        quantum in 1u32..12,
+        adversarial in any::<bool>(),
+        procs in proptest::collection::vec(
+            (0u32..3, 1u32..4, 1u32..6, 1u32..4), // (cpu, prio, len, invs)
+            1..7
+        ),
+    ) {
+        let mut spec = SystemSpec::hybrid(quantum).with_history();
+        if adversarial {
+            spec = spec.with_adversarial_alignment();
+        }
+        let mut k = Kernel::new(0u64, spec);
+        for &(cpu, prio, len, invs) in &procs {
+            k.add_process(ProcessorId(cpu), Priority(prio), worker(len, invs));
+        }
+        k.run(&mut SeededRandom::new(seed), 50_000);
+        prop_assert!(k.all_finished());
+        // Total statements = sum of len·invs.
+        let expected: u64 = procs.iter().map(|&(_, _, l, i)| u64::from(l * i)).sum();
+        prop_assert_eq!(k.mem, expected);
+        if let Err(v) = check_well_formed(k.history()) {
+            return Err(TestCaseError::fail(format!("ill-formed: {v}")));
+        }
+    }
+}

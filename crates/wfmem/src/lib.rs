@@ -1,0 +1,56 @@
+//! Shared-memory object models for wait-free synchronization experiments.
+//!
+//! This crate provides the *objects* that the algorithms of Anderson & Moir,
+//! "Wait-Free Synchronization in Multiprogrammed Systems: Integrating
+//! Priority-Based and Quantum-Based Scheduling" (PODC 1999) are built from:
+//!
+//! * [`Reg`] — an atomic read/write register with access accounting,
+//! * [`CConsensus`] — an object with consensus number exactly `C` in
+//!   Herlihy's wait-free hierarchy, modeled by the paper's own convention:
+//!   the first `C` invocations agree on the first proposed value, and every
+//!   invocation after the `C`-th returns `⊥` (modeled as [`None`]),
+//! * [`LocalConsensus`], [`ModeledCas`], [`ModeledFai`] — *modeled-atomic*
+//!   uniprocessor objects. The paper proves (Theorems 1 and 2, plus the
+//!   quantum-based algorithms of Anderson, Jain & Ott) that these can be
+//!   implemented from reads and writes on a hybrid-scheduled uniprocessor;
+//!   the modeled versions let higher-level algorithms treat them as a single
+//!   atomic statement, while the `hybrid-wf` crate also provides the fully
+//!   expanded read/write implementations.
+//!
+//! All objects count their invocations so experiments can audit step and
+//! space complexity claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use wfmem::CConsensus;
+//!
+//! // A 2-consensus object: two invocations agree, the third gets ⊥.
+//! let mut o = CConsensus::new(2);
+//! assert_eq!(o.invoke(7), Some(7));
+//! assert_eq!(o.invoke(9), Some(7));
+//! assert_eq!(o.invoke(3), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consensus;
+mod modeled;
+mod reg;
+
+pub use consensus::{CConsensus, LocalConsensus};
+pub use modeled::{ModeledCas, ModeledFai};
+pub use reg::Reg;
+
+/// The value domain used by the algorithm implementations.
+///
+/// The paper's `valtype` is an arbitrary type; the implementations in this
+/// workspace fix it to `u64`, which is wide enough to pack every compound
+/// word the algorithms need (head descriptors, cell pointers, port numbers)
+/// while keeping the simulator monomorphic.
+pub type Val = u64;
+
+/// The paper's `⊥` ("no value yet") is modeled as [`Option::None`]; a
+/// present value is `Some(v)`.
+pub type OptVal = Option<Val>;

@@ -1,0 +1,152 @@
+//! Modeled-atomic uniprocessor compare-and-swap and fetch-and-increment.
+//!
+//! Fig. 7 of the paper uses `local-C&S` and `local-F&I` objects on each
+//! processor. These are implementable from reads and writes in constant
+//! time on a quantum-scheduled uniprocessor (Anderson, Jain & Ott, DISC
+//! 1998) because each such variable is written only by processes of a
+//! single priority level, which are quantum-scheduled with respect to one
+//! another. The types here model the *implemented* objects as one atomic
+//! statement each; `hybrid-wf::uni::quantum` provides the expanded
+//! read/write constructions, and both are exercised by the tests
+//! (`LocalOpMode` ablation).
+
+use crate::Val;
+
+/// A modeled-atomic compare-and-swap word.
+///
+/// # Examples
+///
+/// ```
+/// use wfmem::ModeledCas;
+///
+/// let mut w = ModeledCas::new(0);
+/// assert!(w.cas(0, 7));
+/// assert!(!w.cas(0, 9));
+/// assert_eq!(w.read(), 7);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ModeledCas {
+    value: Val,
+    invocations: u64,
+    successes: u64,
+}
+
+impl ModeledCas {
+    /// Creates a word holding `value`.
+    pub fn new(value: Val) -> Self {
+        ModeledCas { value, invocations: 0, successes: 0 }
+    }
+
+    /// Atomically: if the word equals `old`, set it to `new` and return
+    /// `true`; otherwise return `false`.
+    pub fn cas(&mut self, old: Val, new: Val) -> bool {
+        self.invocations += 1;
+        if self.value == old {
+            self.value = new;
+            self.successes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomically reads the word.
+    pub fn read(&self) -> Val {
+        self.value
+    }
+
+    /// Number of `cas` invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Number of successful `cas` invocations so far.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+}
+
+/// A modeled-atomic fetch-and-increment counter.
+///
+/// # Examples
+///
+/// ```
+/// use wfmem::ModeledFai;
+///
+/// let mut c = ModeledFai::new(1);
+/// assert_eq!(c.fetch_inc(), 1);
+/// assert_eq!(c.fetch_inc(), 2);
+/// assert_eq!(c.read(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ModeledFai {
+    value: Val,
+    invocations: u64,
+}
+
+impl ModeledFai {
+    /// Creates a counter starting at `value`.
+    pub fn new(value: Val) -> Self {
+        ModeledFai { value, invocations: 0 }
+    }
+
+    /// Atomically returns the current value and increments the counter.
+    pub fn fetch_inc(&mut self) -> Val {
+        self.invocations += 1;
+        let v = self.value;
+        self.value += 1;
+        v
+    }
+
+    /// Atomically reads the counter.
+    pub fn read(&self) -> Val {
+        self.value
+    }
+
+    /// Number of `fetch_inc` invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut w = ModeledCas::new(5);
+        assert!(w.cas(5, 6));
+        assert!(!w.cas(5, 7));
+        assert_eq!(w.read(), 6);
+        assert_eq!(w.invocations(), 2);
+        assert_eq!(w.successes(), 1);
+    }
+
+    #[test]
+    fn cas_aba_is_permitted_by_model() {
+        // Plain CAS does not detect ABA; the paper's algorithms avoid ABA
+        // with tags, which is what the Fig. 5 tag machinery is for.
+        let mut w = ModeledCas::new(1);
+        assert!(w.cas(1, 2));
+        assert!(w.cas(2, 1));
+        assert!(w.cas(1, 3));
+        assert_eq!(w.read(), 3);
+    }
+
+    #[test]
+    fn fai_sequence_is_dense() {
+        let mut c = ModeledFai::new(0);
+        let got: Vec<Val> = (0..5).map(|_| c.fetch_inc()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.read(), 5);
+    }
+
+    #[test]
+    fn fai_counts_invocations() {
+        let mut c = ModeledFai::new(10);
+        c.fetch_inc();
+        c.fetch_inc();
+        assert_eq!(c.invocations(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Figs. 7 and 8: wait-free consensus for many processes on `P` processors
+//! built from `C`-consensus objects, with the level/port structure printed.
+//!
+//! ```sh
+//! cargo run -p examples --bin multicore_consensus
+//! ```
+
+use hybrid_wf::multi::consensus::{decide_machine, LocalMode, MultiMem};
+use hybrid_wf::multi::failures::summarize;
+use hybrid_wf::multi::ports::PortLayout;
+use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+
+fn main() {
+    // Three processors; objects of consensus number 4 (so K = 1: cpu0 gets
+    // two ports per level); up to 2 processes per processor, 2 priority
+    // levels.
+    let (p, c, m, v) = (3u32, 4u32, 2u32, 2u32);
+    let layout = PortLayout::new(p, c, m);
+    println!("{layout}");
+
+    let cpu_of = [0u32, 0, 1, 1, 2, 2];
+    let prio_of = [1u32, 2, 1, 2, 1, 2];
+    let mem = MultiMem::new(layout, v, &prio_of, &cpu_of);
+    let mut k = Kernel::new(mem, SystemSpec::hybrid(64).with_adversarial_alignment());
+
+    println!("six processes, inputs 100+pid, adversarial first-window alignment:\n");
+    for pid in 0..6u32 {
+        k.add_process(
+            ProcessorId(cpu_of[pid as usize]),
+            Priority(prio_of[pid as usize]),
+            Box::new(decide_machine(
+                pid,
+                cpu_of[pid as usize],
+                prio_of[pid as usize],
+                100 + u64::from(pid),
+                LocalMode::Modeled,
+            )),
+        );
+    }
+    let steps = k.run(&mut SeededRandom::new(7), 1_000_000);
+    println!("quiescent after {steps} statements:");
+    for pid in 0..6u32 {
+        println!(
+            "  p{pid} on cpu{} prio{}: decided {}",
+            cpu_of[pid as usize],
+            prio_of[pid as usize],
+            k.output(ProcessId(pid)).expect("decided")
+        );
+    }
+    let s = summarize(&k.mem);
+    println!(
+        "\naccess failures: same-priority {} / different-priority {}; {} of {} levels clean",
+        s.same,
+        s.diff,
+        s.clean_levels.len(),
+        k.mem.layout.l
+    );
+    println!(
+        "C-consensus invocations per level never exceed C = {}: max observed = {}",
+        c,
+        k.mem.cons.iter().skip(1).map(wfmem::CConsensus::invocations).max().unwrap()
+    );
+}

@@ -1,0 +1,90 @@
+//! The paper's unification claim, tested across crates: "any wait-free
+//! algorithm that is correct in a system with hybrid scheduling is also
+//! correct in a system that is either purely priority-based or purely
+//! quantum-based." Every core algorithm is run under all three scheduler
+//! degenerations with well-formedness checked on the recorded histories.
+
+use hybrid_wf::oracle::{check_linearizable, CasRegOp, CasRegisterSpec, TimedOp};
+use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
+use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem};
+use sched_sim::history::check_well_formed;
+use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+
+const INIT: u64 = 100;
+
+fn scheduler_matrix() -> Vec<(&'static str, SystemSpec, Vec<u32>)> {
+    vec![
+        // (label, spec, priorities for 4 processes)
+        ("hybrid", SystemSpec::hybrid(128).with_history(), vec![1, 1, 2, 2]),
+        ("pure-quantum", SystemSpec::pure_quantum(128).with_history(), vec![1, 1, 1, 1]),
+        ("pure-priority", SystemSpec::pure_priority().with_history(), vec![1, 2, 3, 4]),
+    ]
+}
+
+#[test]
+fn fig3_consensus_correct_under_all_schedulers() {
+    for (label, spec, prios) in scheduler_matrix() {
+        for seed in 0..25 {
+            let mut k = Kernel::new(UniConsensusMem::default(), spec);
+            for (i, &pr) in prios.iter().enumerate() {
+                k.add_process(
+                    ProcessorId(0),
+                    Priority(pr),
+                    Box::new(decide_machine(i as u64 + 1)),
+                );
+            }
+            k.run(&mut SeededRandom::new(seed), 100_000);
+            assert!(k.all_finished(), "{label} seed {seed}");
+            let first = k.output(ProcessId(0)).unwrap();
+            for p in 0..prios.len() as u32 {
+                assert_eq!(k.output(ProcessId(p)), Some(first), "{label} seed {seed}");
+            }
+            assert!((1..=4).contains(&first), "{label}: invalid {first}");
+            check_well_formed(k.history())
+                .unwrap_or_else(|v| panic!("{label} seed {seed}: {v}"));
+        }
+    }
+}
+
+#[test]
+fn fig5_cas_linearizable_under_all_schedulers() {
+    let plans: Vec<Vec<CasOp>> = vec![
+        vec![CasOp::Cas { old: INIT, new: 1 }, CasOp::Read],
+        vec![CasOp::Cas { old: INIT, new: 2 }],
+        vec![CasOp::Read, CasOp::Cas { old: 1, new: 3 }],
+        vec![CasOp::Read],
+    ];
+    for (label, spec, prios) in scheduler_matrix() {
+        let v = *prios.iter().max().unwrap();
+        for seed in 0..20 {
+            let n = prios.len() as u32;
+            let mut k = Kernel::new(CasMem::new(v, &prios, INIT), spec);
+            for (pid, ops) in plans.iter().enumerate() {
+                k.add_process(
+                    ProcessorId(0),
+                    Priority(prios[pid]),
+                    Box::new(op_machine(pid as u32, prios[pid], n, v, ops.clone())),
+                );
+            }
+            k.run(&mut SeededRandom::new(seed), 1_000_000);
+            assert!(k.all_finished(), "{label} seed {seed}");
+            let timed: Vec<TimedOp<CasRegOp>> = k
+                .ops()
+                .iter()
+                .map(|r| TimedOp {
+                    start: r.start,
+                    end: r.t,
+                    op: match plans[r.pid.index()][r.inv_index as usize] {
+                        CasOp::Cas { old, new } => CasRegOp::Cas { old, new },
+                        CasOp::Read => CasRegOp::Read,
+                    },
+                    result: r.output.unwrap(),
+                })
+                .collect();
+            check_linearizable(&CasRegisterSpec { init: INIT }, &timed)
+                .unwrap_or_else(|e| panic!("{label} seed {seed}: {e}"));
+            check_well_formed(k.history())
+                .unwrap_or_else(|v| panic!("{label} seed {seed}: {v}"));
+        }
+    }
+}

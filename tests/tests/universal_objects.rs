@@ -1,0 +1,108 @@
+//! Universality, end to end: wait-free queues and counters built from
+//! consensus, checked for linearizability under randomized hybrid
+//! schedules, including property-based operation mixes.
+
+use hybrid_wf::oracle::{check_linearizable, QueueOp, QueueSpec, TimedOp};
+use hybrid_wf::universal::{op_machine, replay_final_state, CounterSpec, UniversalMem};
+use proptest::prelude::*;
+use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+
+fn run_queue(
+    seed: u64,
+    q: u32,
+    plans: &[(u32, Vec<QueueOp>)],
+) -> Result<(), String> {
+    let n = plans.len() as u32;
+    let cap = 4 * plans.iter().map(|(_, o)| o.len()).sum::<usize>() + 4;
+    let mut k = Kernel::new(
+        UniversalMem::<QueueSpec>::new(n, cap),
+        SystemSpec::hybrid(q).with_adversarial_alignment(),
+    );
+    for (pid, (prio, ops)) in plans.iter().enumerate() {
+        k.add_process(
+            ProcessorId(0),
+            Priority(*prio),
+            Box::new(op_machine(QueueSpec, pid as u32, n, ops.clone())),
+        );
+    }
+    k.run(&mut SeededRandom::new(seed), 2_000_000);
+    if !k.all_finished() {
+        return Err("did not finish".into());
+    }
+    let timed: Vec<TimedOp<QueueOp>> = k
+        .ops()
+        .iter()
+        .map(|r| TimedOp {
+            start: r.start,
+            end: r.t,
+            op: plans[r.pid.index()].1[r.inv_index as usize],
+            result: r.output.unwrap(),
+        })
+        .collect();
+    check_linearizable(&QueueSpec, &timed)
+}
+
+#[test]
+fn queue_mixed_priorities_many_seeds() {
+    let plans = vec![
+        (1, vec![QueueOp::Enq(1), QueueOp::Enq(2)]),
+        (2, vec![QueueOp::Deq, QueueOp::Deq]),
+        (3, vec![QueueOp::Enq(9), QueueOp::Deq]),
+    ];
+    for seed in 0..40 {
+        run_queue(seed, 8, &plans).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary small op mixes at arbitrary priorities stay linearizable.
+    #[test]
+    fn prop_queue_linearizable(
+        seed in 0u64..1000,
+        quantum in 1u32..32,
+        ops0 in proptest::collection::vec(0u8..3, 1..4),
+        ops1 in proptest::collection::vec(0u8..3, 1..4),
+        prio0 in 1u32..4,
+        prio1 in 1u32..4,
+    ) {
+        let decode = |v: &Vec<u8>, base: u64| -> Vec<QueueOp> {
+            v.iter()
+                .enumerate()
+                .map(|(i, &x)| if x == 0 { QueueOp::Deq } else { QueueOp::Enq(base + i as u64) })
+                .collect()
+        };
+        let plans = vec![(prio0, decode(&ops0, 100)), (prio1, decode(&ops1, 200))];
+        prop_assert!(run_queue(seed, quantum, &plans).is_ok());
+    }
+
+    /// Counter total is exact under arbitrary schedules: no lost or
+    /// duplicated increments, whatever the quantum.
+    #[test]
+    fn prop_counter_exact(
+        seed in 0u64..1000,
+        quantum in 1u32..32,
+        n in 1u32..5,
+        per in 1u32..5,
+    ) {
+        let mut k = Kernel::new(
+            UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
+            SystemSpec::hybrid(quantum).with_adversarial_alignment(),
+        );
+        let mut total = 0u64;
+        for pid in 0..n {
+            let ops: Vec<u64> = (1..=u64::from(per)).collect();
+            total += ops.iter().sum::<u64>();
+            k.add_process(
+                ProcessorId(0),
+                Priority(1 + pid % 3),
+                Box::new(op_machine(CounterSpec, pid, n, ops)),
+            );
+        }
+        k.run(&mut SeededRandom::new(seed), 2_000_000);
+        prop_assert!(k.all_finished());
+        prop_assert_eq!(replay_final_state(&CounterSpec, &k.mem), total);
+        let _ = k.output(ProcessId(0));
+    }
+}
