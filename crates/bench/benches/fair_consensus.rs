@@ -1,8 +1,7 @@
 //! Fig. 9: fair-scheduler consensus with a constant quantum, compared with
 //! the Fig. 7 algorithm at its full Theorem 4 quantum.
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::multi::consensus::{LocalMode, MultiMem};
 use hybrid_wf::multi::fair::{decide_machine, FairMem};
 use hybrid_wf::multi::ports::PortLayout;
@@ -32,24 +31,13 @@ fn fair_run(q: u32) -> u64 {
     k.run(&mut RoundRobin::new(), 10_000_000)
 }
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("fig9_fair");
-    for q in [2u32, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("fair_constant_q", q), &q, |b, &q| {
-            b.iter(|| fair_run(q));
-        });
-    }
-    g.bench_function("fig7_reference_q64", |b| {
-        b.iter(|| {
-            let mut k = fig7_kernel(2, 4, 2, 2, 64, LocalMode::Modeled);
-            k.run(&mut RoundRobin::new(), 10_000_000)
-        });
-    });
-    g.finish();
-}
-
 fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
+    let mut g = group("fig9_fair");
+    for q in [2u32, 4, 8] {
+        g.bench(&format!("fair_constant_q{q}"), || fair_run(q));
+    }
+    g.bench("fig7_reference_q64", || {
+        let mut k = fig7_kernel(2, 4, 2, 2, 64, LocalMode::Modeled);
+        k.run(&mut RoundRobin::new(), 10_000_000)
+    });
 }

@@ -2,45 +2,25 @@
 //! (P, M), plus the modeled-vs-expanded local-election ablation
 //! (DESIGN.md §6.2).
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::multi::consensus::LocalMode;
 use lowerbound::adversary::fig7_kernel;
 use sched_sim::RoundRobin;
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("fig7_consensus");
+fn main() {
+    let mut g = group("fig7_consensus");
     for (p, m) in [(1u32, 2u32), (2, 2), (3, 2), (2, 4)] {
-        g.bench_with_input(
-            BenchmarkId::new("modeled", format!("P{p}_M{m}")),
-            &(p, m),
-            |b, &(p, m)| {
-                b.iter(|| {
-                    let mut k = fig7_kernel(p, p, m, 1, 64, LocalMode::Modeled);
-                    k.run(&mut RoundRobin::new(), 100_000_000)
-                });
-            },
-        );
+        g.bench(&format!("modeled_P{p}_M{m}"), || {
+            let mut k = fig7_kernel(p, p, m, 1, 64, LocalMode::Modeled);
+            k.run(&mut RoundRobin::new(), 100_000_000)
+        });
     }
     // Ablation: expanded Fig. 3 port elections (8 statements each) vs
     // modeled-atomic ones.
     for mode in [LocalMode::Modeled, LocalMode::Expanded] {
-        g.bench_with_input(
-            BenchmarkId::new("ablation_local_mode", format!("{mode:?}")),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    let mut k = fig7_kernel(2, 3, 2, 2, 64, mode);
-                    k.run(&mut RoundRobin::new(), 100_000_000)
-                });
-            },
-        );
+        g.bench(&format!("ablation_local_mode_{mode:?}"), || {
+            let mut k = fig7_kernel(2, 3, 2, 2, 64, mode);
+            k.run(&mut RoundRobin::new(), 100_000_000)
+        });
     }
-    g.finish();
-}
-
-fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
 }

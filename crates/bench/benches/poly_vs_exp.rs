@@ -3,41 +3,29 @@
 //! (statement counts are reported by `experiments --poly-vs-exp`; this
 //! bench tracks wall time, which follows the same curves).
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::baseline::exponential::{decide_machine as exp_machine, ExpMem};
 use hybrid_wf::multi::consensus::LocalMode;
 use lowerbound::adversary::fig7_kernel;
 use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("poly_vs_exp");
+fn main() {
+    let mut g = group("poly_vs_exp");
     for n in [2u32, 6, 10] {
-        g.bench_with_input(BenchmarkId::new("fig7_polynomial", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut k = fig7_kernel(1, 1, n, 1, 64, LocalMode::Modeled);
-                k.run(&mut RoundRobin::new(), 100_000_000)
-            });
+        g.bench(&format!("fig7_polynomial_n{n}"), || {
+            let mut k = fig7_kernel(1, 1, n, 1, 64, LocalMode::Modeled);
+            k.run(&mut RoundRobin::new(), 100_000_000)
         });
-        g.bench_with_input(BenchmarkId::new("exponential_baseline", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut k = Kernel::new(ExpMem::new(n), SystemSpec::hybrid(4));
-                for pid in 0..n {
-                    k.add_process(
-                        ProcessorId(0),
-                        Priority(pid + 1),
-                        Box::new(exp_machine(pid, u64::from(pid) + 1)),
-                    );
-                }
-                k.run(&mut RoundRobin::new(), 500_000_000)
-            });
+        g.bench(&format!("exponential_baseline_n{n}"), || {
+            let mut k = Kernel::new(ExpMem::new(n), SystemSpec::hybrid(4));
+            for pid in 0..n {
+                k.add_process(
+                    ProcessorId(0),
+                    Priority(pid + 1),
+                    Box::new(exp_machine(pid, u64::from(pid) + 1)),
+                );
+            }
+            k.run(&mut RoundRobin::new(), 500_000_000)
         });
     }
-    g.finish();
-}
-
-fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -4,35 +4,21 @@
 //! tracks the runtime cost along the C axis (weaker objects ⇒ more levels
 //! ⇒ more work).
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::multi::consensus::LocalMode;
 use lowerbound::adversary::fig7_kernel;
 use sched_sim::RoundRobin;
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("table1_cost_along_c");
+fn main() {
+    let mut g = group("table1_cost_along_c");
     let p = 3u32;
     for cc in p..=2 * p {
         // Paper upper bound shape: Q ∝ (2P + 1 − C); c ≈ 16 covers the
         // implementation's constant.
         let q = 16 * (2 * p + 1 - cc);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("P{p}_C{cc}_Q{q}")),
-            &(cc, q),
-            |b, &(cc, q)| {
-                b.iter(|| {
-                    let mut k = fig7_kernel(p, cc, 2, 1, q, LocalMode::Modeled);
-                    k.run(&mut RoundRobin::new(), 100_000_000)
-                });
-            },
-        );
+        g.bench(&format!("P{p}_C{cc}_Q{q}"), || {
+            let mut k = fig7_kernel(p, cc, 2, 1, q, LocalMode::Modeled);
+            k.run(&mut RoundRobin::new(), 100_000_000)
+        });
     }
-    g.finish();
-}
-
-fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
 }

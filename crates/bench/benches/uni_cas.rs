@@ -2,8 +2,7 @@
 //! levels (statement counts grow linearly; see also `experiments --thm2`
 //! for the exact series 42 + 14(V−1)).
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
 use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
 
@@ -36,18 +35,9 @@ fn one_cas_at_v(v: u32) -> u64 {
     k.run(&mut d, 1_000_000)
 }
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("fig5_cas_vs_v");
-    for v in [1u32, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
-            b.iter(|| one_cas_at_v(v));
-        });
-    }
-    g.finish();
-}
-
 fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
+    let mut g = group("fig5_cas_vs_v");
+    for v in [1u32, 2, 4, 8] {
+        g.bench(&format!("v{v}"), || one_cas_at_v(v));
+    }
 }

@@ -1,34 +1,23 @@
 //! Theorem 1 / Fig. 3: uniprocessor consensus latency is constant in the
 //! number of processes (the paper's constant-time claim).
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("fig3_consensus_vs_n");
+fn main() {
+    let mut g = group("fig3_consensus_vs_n");
     for n in [1u32, 4, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut k =
-                    Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM));
-                for i in 0..n {
-                    k.add_process(
-                        ProcessorId(0),
-                        Priority(1 + i % 3),
-                        Box::new(decide_machine(u64::from(i))),
-                    );
-                }
-                k.run(&mut RoundRobin::new(), 1_000_000)
-            });
+        g.bench(&format!("n{n}"), || {
+            let mut k = Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM));
+            for i in 0..n {
+                k.add_process(
+                    ProcessorId(0),
+                    Priority(1 + i % 3),
+                    Box::new(decide_machine(u64::from(i))),
+                );
+            }
+            k.run(&mut RoundRobin::new(), 1_000_000)
         });
     }
-    g.finish();
-}
-
-fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
 }

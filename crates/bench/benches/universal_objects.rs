@@ -3,8 +3,7 @@
 //! statement granularity) under an equal-priority workload where locks are
 //! safe — the wait-free object pays a bounded, predictable cost.
 
-use bench::criterion;
-use criterion::BenchmarkId;
+use bench::group;
 use hybrid_wf::baseline::locks::{inc_machine, LockMem};
 use hybrid_wf::universal::{op_machine, CounterSpec, UniversalMem};
 use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
@@ -32,21 +31,10 @@ fn locked_counter(n: u32, per: u32) -> u64 {
     k.run(&mut RoundRobin::new(), 10_000_000)
 }
 
-fn bench(c: &mut criterion::Criterion) {
-    let mut g = c.benchmark_group("universal_vs_lock_counter");
-    for n in [2u32, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("wait_free_universal", n), &n, |b, &n| {
-            b.iter(|| universal_counter(n, 8));
-        });
-        g.bench_with_input(BenchmarkId::new("lock_based", n), &n, |b, &n| {
-            b.iter(|| locked_counter(n, 8));
-        });
-    }
-    g.finish();
-}
-
 fn main() {
-    let mut c = criterion();
-    bench(&mut c);
-    c.final_summary();
+    let mut g = group("universal_vs_lock_counter");
+    for n in [2u32, 4, 8] {
+        g.bench(&format!("wait_free_universal_n{n}"), || universal_counter(n, 8));
+        g.bench(&format!("lock_based_n{n}"), || locked_counter(n, 8));
+    }
 }

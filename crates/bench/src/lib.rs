@@ -1,16 +1,102 @@
-//! Shared helpers for the criterion benchmarks that regenerate the paper's
-//! tables and figures. The benchmarks measure *simulated statement counts
-//! are fixed by the algorithms*, so wall-clock time here tracks the
+//! A small, self-contained timing harness for the benchmarks that
+//! regenerate the paper's tables and figures.
+//!
+//! The workspace builds offline, so the benches use this ~100-line harness
+//! instead of an external framework. The statement counts the benchmarks
+//! exercise are fixed by the algorithms, so wall-clock time tracks the
 //! algorithmic work directly (the simulator costs a near-constant factor
-//! per statement).
+//! per statement); a median over a modest number of iterations is plenty
+//! to expose the curves (flat in N, linear in V, exponential baseline…).
+//!
+//! Run with `cargo bench --workspace`. Each bench binary prints one line
+//! per case: `group/case  median  (min .. max, iters)`.
 
-use criterion::Criterion;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-/// A criterion instance tuned for simulation benchmarks: modest sampling
-/// so the full suite stays in CI-friendly time.
-pub fn criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
+/// Target measurement time per case. Small enough that the full suite
+/// stays CI-friendly, large enough for a stable median.
+const TARGET: Duration = Duration::from_millis(400);
+/// Minimum timed iterations per case.
+const MIN_ITERS: usize = 5;
+/// Maximum timed iterations per case.
+const MAX_ITERS: usize = 200;
+
+/// A named group of benchmark cases (one per table/figure).
+pub struct Group {
+    name: String,
+}
+
+/// Creates a benchmark group. Cases print as `name/case`.
+pub fn group(name: &str) -> Group {
+    println!("== {name} ==");
+    Group { name: name.to_string() }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Group {
+    /// Times `f`, printing the median (and min/max) per iteration. The
+    /// return value is passed through [`black_box`] so the work is not
+    /// optimized away.
+    pub fn bench<R>(&mut self, case: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: one untimed call (fills allocator caches, faults pages).
+        black_box(f());
+        let mut samples: Vec<Duration> = Vec::new();
+        let begun = Instant::now();
+        while samples.len() < MIN_ITERS
+            || (begun.elapsed() < TARGET && samples.len() < MAX_ITERS)
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{case:<28} {:>12}  ({} .. {}, {} iters)",
+            self.name,
+            fmt_dur(median),
+            fmt_dur(samples[0]),
+            fmt_dur(*samples.last().expect("nonempty")),
+            samples.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_bounds() {
+        let mut g = group("selftest");
+        let mut calls = 0u64;
+        g.bench("counting", || {
+            calls += 1;
+            calls
+        });
+        // warm-up + at least MIN_ITERS timed iterations
+        assert!(calls >= 1 + MIN_ITERS as u64);
+        assert!(calls <= 1 + MAX_ITERS as u64);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(5)), "5.000 s");
+    }
 }

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod counters;
 pub mod multi;
 pub mod oracle;
 pub mod uni;

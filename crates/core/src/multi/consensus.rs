@@ -13,7 +13,7 @@
 //! Per-priority `Port[i, v]` / `Lastpub[i, v]` counters are written only by
 //! priority-`v` processes on processor `i`, so the paper implements their
 //! `local-C&S` / `local-F&I` from reads and writes with the constant-time
-//! quantum-scheduled algorithms of [1]; here they are modeled as one atomic
+//! quantum-scheduled algorithms of Anderson–Jain–Ott; here they are modeled as one atomic
 //! statement each (see DESIGN.md, reconstruction boundary). The per-port
 //! `local-consensus` election is available in **two modes**
 //! ([`LocalMode`]): modeled-atomic, or fully expanded into the Fig. 3

@@ -20,7 +20,7 @@
 //!   the algorithm's decision unique.
 //!
 //! These bounds are checked against the oracle instrumentation that
-//! [`MultiMem`](crate::multi::consensus::MultiMem) records during runs.
+//! [`MultiMem`] records during runs.
 
 use crate::multi::consensus::MultiMem;
 

@@ -23,8 +23,11 @@
 
 use std::collections::HashSet;
 use std::fmt::Debug;
+use std::fs;
 use std::hash::Hash;
+use std::path::{Path, PathBuf};
 
+use sched_sim::obs::Trace;
 use wfmem::Val;
 
 /// A completed operation with its real-time interval and observed result.
@@ -117,6 +120,58 @@ pub fn check_linearizable<S: SeqSpec>(spec: &S, ops: &[TimedOp<S::Op>]) -> Resul
     } else {
         Err(format!("no linearization exists for {} operations: {ops:?}", n))
     }
+}
+
+/// Checks linearizability and, on failure, dumps the captured `trace` as a
+/// replayable artifact, appending its path to the error message.
+///
+/// This is the hook stress tests use so that a failing randomized run is
+/// never lost: capture the run with [`sched_sim::kernel::Kernel::attach_obs`],
+/// and on violation the full decision script lands on disk. Reload it with
+/// [`Trace::from_text`] and replay via [`Trace::scripted`] against an
+/// identically constructed kernel to reproduce the failure bit-identically
+/// (see EXPERIMENTS.md for a worked example).
+///
+/// # Errors
+///
+/// As [`check_linearizable`], with the artifact path (or the reason the
+/// dump itself failed) appended.
+pub fn check_linearizable_traced<S: SeqSpec>(
+    spec: &S,
+    ops: &[TimedOp<S::Op>],
+    trace: &Trace,
+    tag: &str,
+) -> Result<(), String> {
+    check_linearizable(spec, ops).map_err(|e| match dump_trace(trace, tag) {
+        Ok(path) => format!("{e}\nreplayable trace dumped to {}", path.display()),
+        Err(io) => format!("{e}\n(trace dump failed: {io})"),
+    })
+}
+
+/// Writes `trace` to `target/obs/<tag>.trace` relative to the working
+/// directory (falling back to the system temp directory when `target/` is
+/// not writable), returning the artifact path. `tag` must be a plain file
+/// stem — no path separators.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error when neither location is writable.
+pub fn dump_trace(trace: &Trace, tag: &str) -> std::io::Result<PathBuf> {
+    assert!(
+        !tag.contains(['/', '\\']),
+        "trace tag must be a plain file stem"
+    );
+    let preferred = Path::new("target").join("obs");
+    let dir = if fs::create_dir_all(&preferred).is_ok() {
+        preferred
+    } else {
+        let fallback = std::env::temp_dir().join("sched-sim-obs");
+        fs::create_dir_all(&fallback)?;
+        fallback
+    };
+    let path = dir.join(format!("{tag}.trace"));
+    fs::write(&path, trace.to_text())?;
+    Ok(path)
 }
 
 /// Operations of a compare-and-swap register (the Fig. 5 object).

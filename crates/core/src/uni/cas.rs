@@ -62,6 +62,7 @@ use std::sync::Arc;
 use sched_sim::program::{Flow, InvocationPlan, ProcRef, ProgMachine, Program, ProgramBuilder};
 use wfmem::Val;
 
+use crate::counters::AlgCounters;
 use crate::uni::consensus::{append_decide, append_read, ConsensusCell, DecideScratch};
 use crate::uni::quantum::{append_qcs, QcsScratch};
 
@@ -135,6 +136,9 @@ pub struct CasMem {
     /// Static priority map `pid → level` (`prio[N] = 0` for the virtual
     /// owner). Read-only, so consulting it is not a shared access.
     pub prio: Vec<u32>,
+    /// Helping/retry telemetry (ignored by `==` and hashing; see
+    /// [`crate::counters`]).
+    pub counters: AlgCounters,
 }
 
 /// Announce-word initial value (no process token equals it).
@@ -169,6 +173,7 @@ impl CasMem {
             a: vec![vec![0; v as usize + 1]; 2 * n as usize],
             seen: vec![init; v as usize + 1],
             prio,
+            counters: AlgCounters::default(),
         }
     }
 
@@ -482,6 +487,7 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
         let a_seen_topc = a_seen_top;
         b.stmt(apply, "29: Seen[i] := old", move |l, m| {
             m.seen[l.k as usize] = l.op_old;
+            m.counters.seen_helps += 1;
             l.k += 1;
             if l.k < l.pri {
                 Flow::Goto(a_seen_topc)
@@ -517,10 +523,11 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     });
     {
         let a_rep32c = a_rep32;
-        b.free(apply, "34b: until (repeats at most once)", move |l, _m| {
+        b.free(apply, "34b: until (repeats at most once)", move |l, m| {
             if l.qcs.ret {
                 Flow::Next
             } else {
+                m.counters.qcs_retries += 1;
                 Flow::Goto(a_rep32c)
             }
         });
@@ -541,10 +548,11 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     });
     {
         let a_rep32c = a_rep32;
-        b.free(apply, "36b: until (repeats at most once)", move |l, _m| {
+        b.free(apply, "36b: until (repeats at most once)", move |l, m| {
             if l.qcs.ret {
                 Flow::Next
             } else {
+                m.counters.qcs_retries += 1;
                 Flow::Goto(a_rep32c)
             }
         });
@@ -582,10 +590,11 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     });
     {
         let a_rep39c = a_rep39;
-        b.free(apply, "41b: until (repeats at most once)", move |l, _m| {
+        b.free(apply, "41b: until (repeats at most once)", move |l, m| {
             if l.qcs.ret {
                 Flow::Next
             } else {
+                m.counters.qcs_retries += 1;
                 Flow::Goto(a_rep39c)
             }
         });
@@ -608,10 +617,11 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     });
     {
         let a_rep39c = a_rep39;
-        b.free(apply, "43b: until (repeats at most once)", move |l, _m| {
+        b.free(apply, "43b: until (repeats at most once)", move |l, m| {
             if l.qcs.ret {
                 Flow::Next
             } else {
+                m.counters.qcs_retries += 1;
                 Flow::Goto(a_rep39c)
             }
         });
@@ -830,6 +840,7 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
             Flow::Next
         } else {
             l.ret_val = Some(m.seen[l.pri as usize]);
+            m.counters.helped_reads += 1;
             Flow::Return
         }
     });
@@ -946,6 +957,7 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     }
     b.stmt(read, "61: return Seen[pri]", |l, m| {
         l.ret_val = Some(m.seen[l.pri as usize]);
+        m.counters.helped_reads += 1;
         Flow::Return
     });
     b.bind(read, r2_inc);
@@ -1369,6 +1381,34 @@ mod tests {
         let mut k = kernel(SystemSpec::hybrid(100), 1, &[1, 1], &plans);
         k.run(&mut LastOption, 1_000_000);
         assert_linearizable(&k, &plans);
+    }
+
+    /// Kernel [`ObsCounters`](sched_sim::obs::ObsCounters) and the object's
+    /// own [`AlgCounters`] agree with per-process accounting on a
+    /// mixed-priority C&S workload, and the Seen-helping path (line 29)
+    /// actually fires: every `C&S` reaching `Apply` at priority ≥ 2 records
+    /// helping values for the levels below it.
+    #[test]
+    fn obs_counters_track_cas_workload() {
+        let plans = vec![
+            vec![CasOp::Cas { old: INIT, new: 1 }, CasOp::Read, CasOp::Cas { old: 1, new: 3 }],
+            vec![CasOp::Cas { old: INIT, new: 2 }, CasOp::Read],
+            vec![CasOp::Read, CasOp::Cas { old: 2, new: 4 }],
+        ];
+        let mut k = kernel(SystemSpec::hybrid(256), 3, &[1, 2, 3], &plans);
+        k.run(&mut RoundRobin::new(), 1_000_000);
+        assert_linearizable(&k, &plans);
+
+        let c = k.counters();
+        let ops_planned: u64 = plans.iter().map(|p| p.len() as u64).sum();
+        assert_eq!(c.invocations_completed, ops_planned);
+        let own_total: u64 = (0..3).map(|p| k.stats(ProcessId(p)).own_steps).sum();
+        assert_eq!(c.statements, own_total);
+        assert_eq!(c.releases, 0);
+
+        // Priority-2 and priority-3 processes each perform one C&S that
+        // reaches Apply; line 29 writes Seen[i] for every lower level.
+        assert!(k.mem.counters.seen_helps > 0, "{}", k.mem.counters);
     }
 
     #[test]

@@ -513,4 +513,39 @@ mod tests {
         k.run(&mut LastOption, 100_000);
         assert_eq!(consensus_property(&k, &[1, 2, 3, 4, 5]), None);
     }
+
+    /// Observability counters witness the Theorem 1 hypothesis directly:
+    /// with aligned windows and `Q = 8`, an 8-statement `decide` always
+    /// occupies exactly one quantum window, so no quantum boundary falls
+    /// mid-invocation and no same-priority process is displaced from an
+    /// open window — while a smaller quantum makes both counters fire.
+    #[test]
+    fn obs_counters_no_mid_invocation_expiry_at_min_quantum() {
+        let run = |q: u32| {
+            let mut k = kernel(
+                SystemSpec::hybrid(q),
+                &[(1, 1), (2, 1), (3, 1), (4, 2)],
+            );
+            k.run(&mut SeededRandom::new(7), 100_000);
+            assert!(k.all_finished(), "q {q} did not finish");
+            k
+        };
+
+        let k = run(MIN_QUANTUM);
+        let c = k.counters();
+        assert_eq!(c.quantum_expiries_mid_invocation, 0);
+        assert_eq!(c.same_prio_preemptions, 0);
+        assert_eq!(c.invocations_completed, 4);
+        assert_eq!(c.statements, 4 * u64::from(STATEMENTS_PER_DECIDE));
+        assert_eq!(c.statements_per_op(), Some(f64::from(STATEMENTS_PER_DECIDE)));
+
+        // Tightness: Q = 4 splits every invocation across windows.
+        let k = run(4);
+        let c = k.counters();
+        assert!(c.quantum_expiries_mid_invocation > 0, "{c}");
+        assert!(c.same_prio_preemptions > 0, "{c}");
+        // The per-kind counter agrees with the per-process accounting.
+        let total: u64 = (0..4).map(|i| k.stats(ProcessId(i)).quantum_preemptions).sum();
+        assert_eq!(c.same_prio_preemptions, total);
+    }
 }

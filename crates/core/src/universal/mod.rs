@@ -29,6 +29,7 @@ use std::sync::Arc;
 use sched_sim::program::{Flow, InvocationPlan, ProgMachine, Program, ProgramBuilder};
 use wfmem::{LocalConsensus, Val};
 
+use crate::counters::AlgCounters;
 use crate::oracle::{QueueOp, SeqSpec};
 #[cfg(test)]
 use crate::oracle::EMPTY;
@@ -67,6 +68,9 @@ where
     /// Every operation ever announced, by `(pid, seq)` — write-once, so
     /// replays never race with announce-array clearing.
     pub ops: Vec<Vec<S::Op>>,
+    /// Helping/retry telemetry (ignored by `==` and hashing; see
+    /// [`crate::counters`]).
+    pub counters: AlgCounters,
 }
 
 impl<S: SeqSpec> UniversalMem<S>
@@ -81,6 +85,7 @@ where
             announce: vec![None; n as usize],
             log: vec![LocalConsensus::new(); capacity],
             ops: vec![Vec::new(); n as usize],
+            counters: AlgCounters::default(),
         }
     }
 
@@ -153,6 +158,11 @@ where
                 Some((tok, _)) => *tok,
                 None => l.my_token,
             };
+            if proposal == l.my_token {
+                m.counters.own_proposals += 1;
+            } else {
+                m.counters.helped_proposals += 1;
+            }
             let slot = l.k as usize;
             assert!(slot < m.log.len(), "universal log capacity exceeded");
             let decided = m.log[slot].decide(proposal);
@@ -162,6 +172,7 @@ where
                 // Duplicate slot (helper re-proposed an applied token):
                 // skip it in the replay.
                 debug_assert!(wseq < l.applied[winner as usize]);
+                m.counters.duplicate_retries += 1;
                 return Flow::Goto(loop_top);
             }
             // First occurrence: replay on the private replica.
@@ -435,6 +446,49 @@ mod tests {
         let mut k = queue_kernel(SystemSpec::hybrid(8), &plans);
         k.run(&mut RoundRobin::new(), 1_000_000);
         check_queue_linearizable(&k, &plans);
+    }
+
+    /// The observability counters tell the universal construction's story:
+    /// every planned operation completes (kernel counters), the round-robin
+    /// helping discipline proposes other processes' announced operations,
+    /// and duplicate log slots really occur and are retried (object
+    /// counters) — the mechanism that makes the construction wait-free
+    /// rather than merely lock-free.
+    #[test]
+    fn obs_counters_track_universal_helping() {
+        let mut helped_total = 0u64;
+        let mut dup_total = 0u64;
+        for seed in 0..20 {
+            let n = 4u32;
+            let per = 3u32;
+            let mut k = Kernel::new(
+                UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
+                SystemSpec::hybrid(8).with_adversarial_alignment(),
+            );
+            for pid in 0..n {
+                k.add_process(
+                    ProcessorId(0),
+                    Priority(1 + pid % 2),
+                    Box::new(op_machine(CounterSpec, pid, n, vec![1; per as usize])),
+                );
+            }
+            k.run(&mut SeededRandom::new(seed), 1_000_000);
+            assert!(k.all_finished(), "seed {seed}");
+
+            let c = k.counters();
+            assert_eq!(c.invocations_completed, u64::from(n * per), "seed {seed}");
+            let own: u64 = (0..n).map(|p| k.stats(ProcessId(p)).own_steps).sum();
+            assert_eq!(c.statements, own, "seed {seed}");
+
+            // Each a2 execution makes exactly one proposal; the split into
+            // helped/own must account for all of them.
+            let a = k.mem.counters;
+            assert!(a.proposals() > 0, "seed {seed}");
+            helped_total += a.helped_proposals;
+            dup_total += a.duplicate_retries;
+        }
+        assert!(helped_total > 0, "helping never fired across 20 seeds");
+        assert!(dup_total > 0, "no duplicate slot across 20 seeds");
     }
 
     #[test]

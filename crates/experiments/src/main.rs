@@ -14,12 +14,14 @@
 //! * `--valency`   — Fig. 10: bivalent chain depths
 //! * `--fig8`      — Fig. 8: the level/port layout
 //! * `--poly-vs-exp` — polynomial Fig. 7 vs exponential baseline
+//! * `--obs`       — observability: per-run counters + capture/replay demo
 
 use hybrid_wf::multi::consensus::LocalMode;
 use hybrid_wf::multi::failures::{lemma2_holds, lemma3_bound_holds, summarize};
 use hybrid_wf::multi::ports::PortLayout;
 use hybrid_wf::uni::cas::{op_machine as cas_machine, CasMem, CasOp};
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
+use hybrid_wf::universal::{op_machine as universal_machine, CounterSpec, UniversalMem};
 use lowerbound::adversary::{fig7_kernel, MaxPreempt};
 use lowerbound::fig6;
 use lowerbound::valency::bivalent_chain_depth;
@@ -64,6 +66,9 @@ fn main() {
     }
     if want("--poly-vs-exp") {
         poly_vs_exp();
+    }
+    if want("--obs") {
+        obs();
     }
 }
 
@@ -322,6 +327,72 @@ fn measured_min_q(p: u32, c: u32) -> String {
         return q.to_string();
     }
     ">128".into()
+}
+
+fn obs() {
+    println!("── Observability: per-run counters and deterministic replay ──");
+
+    // 1. Scheduler counters on Fig. 3 consensus: with aligned windows and
+    //    Q ≥ 8 every decide fits inside one quantum window, so
+    //    same-priority preemption vanishes (the Theorem 1 hypothesis).
+    println!("  Fig. 3 consensus, 4 same-priority processes, seeded-random schedule:");
+    for q in [4u32, MIN_QUANTUM] {
+        let mut k = Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(q));
+        for v in 1..=4u64 {
+            k.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(v)));
+        }
+        k.run(&mut SeededRandom::new(7), 1_000_000);
+        let c = k.counters();
+        println!(
+            "    Q = {q}: same-prio preemptions = {}, mid-invocation expiries = {}, statements/op = {:.1}",
+            c.same_prio_preemptions,
+            c.quantum_expiries_mid_invocation,
+            c.statements_per_op().unwrap_or(f64::NAN),
+        );
+    }
+
+    // 2. Full counter report plus the algorithm-level helping counters on a
+    //    universal-construction counter under an adversarial schedule.
+    let n = 4u32;
+    let per = 4u32;
+    let mk = || {
+        let mut k = Kernel::new(
+            UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
+            SystemSpec::hybrid(8).with_adversarial_alignment().with_history(),
+        );
+        for pid in 0..n {
+            k.add_process(
+                ProcessorId(0),
+                Priority(1 + pid % 2),
+                Box::new(universal_machine(CounterSpec, pid, n, vec![1; per as usize])),
+            );
+        }
+        k
+    };
+    let mut k = mk();
+    k.attach_obs();
+    k.run(&mut SeededRandom::new(42), 1_000_000);
+    println!("\n  universal counter, N = {n}, {per} increments each, Q = 8, seed 42:");
+    println!("{}", indent(&k.counters().to_string(), "    "));
+    println!("  algorithm counters (universal construction, Fig. 7 helping):");
+    println!("{}", indent(&k.mem.counters.to_string(), "    "));
+
+    // 3. The same run captured and replayed from its decision script.
+    let trace = k.take_obs().expect("obs attached");
+    let mut r = mk();
+    r.run(&mut trace.scripted(), 1_000_000);
+    println!(
+        "  capture → replay: {} recorded events; history identical = {}, memory identical = {}",
+        trace.events.len(),
+        r.history() == k.history(),
+        r.mem == k.mem,
+    );
+    println!();
+}
+
+/// Indents every line of a multi-line `Display` block for report nesting.
+fn indent(s: &str, pad: &str) -> String {
+    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
 }
 
 fn poly_vs_exp() {

@@ -11,9 +11,8 @@
 use hybrid_wf::multi::consensus::{decide_machine, LocalMode, MultiMem};
 use hybrid_wf::multi::ports::PortLayout;
 use hybrid_wf::Val;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sched_sim::decision::{Choice, Decider, SeededRandom};
+use sched_sim::rng::SplitMix64;
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::{Kernel, SystemSpec};
 
@@ -24,21 +23,21 @@ use sched_sim::kernel::{Kernel, SystemSpec};
 /// boundary).
 #[derive(Clone, Debug)]
 pub struct MaxPreempt {
-    rng: StdRng,
+    rng: SplitMix64,
     last_holder: Vec<(u32, u32, ProcessId)>,
 }
 
 impl MaxPreempt {
     /// Creates the adversary with the given seed.
     pub fn new(seed: u64) -> Self {
-        MaxPreempt { rng: StdRng::seed_from_u64(seed), last_holder: Vec::new() }
+        MaxPreempt { rng: SplitMix64::new(seed), last_holder: Vec::new() }
     }
 }
 
 impl Decider for MaxPreempt {
     fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
         match choice {
-            Choice::Cpu { .. } => self.rng.gen_range(0..n),
+            Choice::Cpu { .. } => self.rng.index(n),
             Choice::Holder { cpu, prio, options } => {
                 // Never re-pick the previous holder if any alternative is
                 // ready: maximize same-priority preemptions.
@@ -54,7 +53,7 @@ impl Decider for MaxPreempt {
                 let idx = if candidates.is_empty() {
                     0
                 } else {
-                    candidates[self.rng.gen_range(0..candidates.len())]
+                    candidates[self.rng.index(candidates.len())]
                 };
                 self.last_holder.retain(|(c, p, _)| (*c, *p) != key);
                 self.last_holder.push((key.0, key.1, options[idx]));
@@ -199,7 +198,7 @@ mod tests {
             let mut total = 0u32;
             let mut max_run = 0u32;
             let mut lemma3_violated = false;
-            for seed in 0..60 {
+            for seed in 0..150 {
                 let mut k = fig7_kernel(2, 2, 3, 1, q, LocalMode::Modeled);
                 let mut mp = MaxPreempt::new(seed);
                 let mut sr = SeededRandom::new(seed);

@@ -23,6 +23,21 @@
 //!   violation search against the Fig. 7 algorithm, used by the `table1`
 //!   experiment to locate the quantum threshold between the paper's upper
 //!   and lower bounds.
+//!
+//! The adversaries here are ordinary `sched_sim` deciders, so everything
+//! they do is subject to the same Axiom 1/2 well-formedness checking as
+//! any other schedule — "impossibility" evidence cannot cheat the model —
+//! and their runs can be captured and replayed bit-identically through
+//! the observability layer (`sched_sim::obs`), which is how the
+//! adversarial replay test in `tests/tests/obs_replay.rs` pins them down.
+//!
+//! # Example: the contradiction, in three lines
+//!
+//! ```
+//! let f = lowerbound::fig6::construct(2, 2);   // P = 2, C = 2 ⇒ Q = 2
+//! assert_ne!(f.x_branch.decided, f.y_branch.decided);
+//! assert!(f.contradiction());                  // p₂ᴾ returns the same value in both
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

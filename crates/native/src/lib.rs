@@ -15,11 +15,25 @@
 //! What cannot be ported to a commodity OS is the *quantum guarantee*
 //! itself: no mainstream kernel promises `Q` statements between
 //! equal-priority preemptions (the paper's motivating RTOSes — QNX, IRIX
-//! REACT, VxWorks — do). [`rt`] requests `SCHED_FIFO` where the host
-//! allows, degrading gracefully (and reporting it) where it doesn't; the
-//! statement-level experiments stay in the simulator. This split is
-//! documented in DESIGN.md as substitution S16.
+//! REACT, VxWorks — do). The closest commodity analogue is the `SCHED_RR`
+//! real-time class; [`rt`] models the request for it as an API that
+//! reports a clean [`rt::RtOutcome::Denied`] outcome (the workspace
+//! builds with no OS bindings — see the module docs for the rationale),
+//! so callers exercise exactly the degraded path they would hit without
+//! RT privileges. The statement-level experiments stay in the simulator.
+//! This split is documented in DESIGN.md as system S16.
+//!
+//! Crate tour:
+//!
+//! * [`objects`] — lock-free `C`-consensus and election objects over
+//!   `std::sync::atomic`, invocation-counted like their simulated
+//!   counterparts in `wfmem`.
+//! * [`fig7`] — the Fig. 7 consensus driver: spawns one thread per
+//!   processor, runs that processor's processes sequentially on it, and
+//!   checks cross-thread agreement.
+//! * [`rt`] — the degraded-outcome real-time scheduling request API.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig7;

@@ -1,20 +1,25 @@
-//! Best-effort real-time scheduling bindings: request the fixed-priority
-//! round-robin policy the paper's motivating RTOSes provide.
+//! Best-effort real-time scheduling requests: the hook where a privileged
+//! host would apply the fixed-priority round-robin policy the paper's
+//! motivating RTOSes provide.
 //!
 //! `SCHED_RR` **is** a hybrid scheduler in the paper's sense: strict
 //! priorities across levels (Axiom 1) plus a time-slice among
 //! equal-priority threads (Axiom 2, with the quantum measured in time
-//! rather than statements). Requesting it requires privileges
-//! (`CAP_SYS_NICE` on Linux); in unprivileged environments the request
-//! fails with `EPERM` and callers proceed under the default scheduler,
-//! which preserves correctness of the lock-free objects (they are
-//! scheduler-independent on real CAS hardware) but not the RTOS timing
-//! model. All experiments that depend on the quantum semantics live in the
-//! simulator for exactly this reason.
+//! rather than statements). This workspace builds offline with zero
+//! external dependencies, so the raw `sched_setscheduler(2)` /
+//! `sched_rr_get_interval(2)` bindings (previously via `libc`) are not
+//! linked; the request path is kept as a stub that reports
+//! [`RtOutcome::Denied`] with `ENOSYS`, exactly the degraded path callers
+//! already had to handle (unprivileged containers return `EPERM` the same
+//! way). Correctness of the lock-free objects is scheduler-independent on
+//! real CAS hardware, so nothing downstream changes; all experiments that
+//! depend on the quantum semantics live in the simulator for exactly this
+//! reason.
 
-use std::io;
+/// `ENOSYS`: the functionality is not available in this build.
+const ENOSYS: i32 = 38;
 
-/// The scheduling policy applied by [`set_realtime_rr`].
+/// The result of a scheduling-policy request made by [`set_realtime_rr`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RtOutcome {
     /// `SCHED_RR` at the given priority was applied to this thread.
@@ -22,7 +27,8 @@ pub enum RtOutcome {
         /// The RT priority granted.
         priority: i32,
     },
-    /// The host denied the request (typically `EPERM` in containers);
+    /// The host denied the request (`ENOSYS` in this dependency-free
+    /// build; typically `EPERM` in containers when the syscall is made);
     /// execution continues under the default scheduler.
     Denied {
         /// The OS error encountered.
@@ -30,34 +36,19 @@ pub enum RtOutcome {
     },
 }
 
-/// Requests `SCHED_RR` at `priority` (clamped to the valid range) for the
-/// calling thread. Never fails hard: a denial is reported, not raised.
-pub fn set_realtime_rr(priority: i32) -> RtOutcome {
-    let min = unsafe { libc::sched_get_priority_min(libc::SCHED_RR) };
-    let max = unsafe { libc::sched_get_priority_max(libc::SCHED_RR) };
-    let prio = priority.clamp(min, max);
-    let param = libc::sched_param { sched_priority: prio };
-    let rc = unsafe { libc::sched_setscheduler(0, libc::SCHED_RR, &param) };
-    if rc == 0 {
-        RtOutcome::Applied { priority: prio }
-    } else {
-        RtOutcome::Denied {
-            errno: io::Error::last_os_error().raw_os_error().unwrap_or(0),
-        }
-    }
+/// Requests `SCHED_RR` at `priority` for the calling thread. Never fails
+/// hard: a denial is reported, not raised. In this build the syscall is
+/// not linked, so the request is always [`RtOutcome::Denied`].
+pub fn set_realtime_rr(_priority: i32) -> RtOutcome {
+    RtOutcome::Denied { errno: ENOSYS }
 }
 
-/// The round-robin time slice the kernel would grant (`sched_rr_get_interval`),
-/// in nanoseconds — the OS analogue of the paper's quantum `Q`. Returns
-/// `None` where unsupported.
+/// The round-robin time slice the kernel would grant
+/// (`sched_rr_get_interval`), in nanoseconds — the OS analogue of the
+/// paper's quantum `Q`. Returns `None` where unsupported, which includes
+/// this syscall-free build.
 pub fn rr_quantum_ns() -> Option<u64> {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    let rc = unsafe { libc::sched_rr_get_interval(0, &mut ts) };
-    if rc == 0 {
-        Some(ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64)
-    } else {
-        None
-    }
+    None
 }
 
 #[cfg(test)]
@@ -66,8 +57,9 @@ mod tests {
 
     #[test]
     fn rt_request_reports_cleanly() {
-        // In CI containers this is almost always Denied(EPERM); on a
-        // configured RT host it is Applied. Both are valid outcomes — the
+        // On a configured RT host with real bindings this would be
+        // Applied; in this build (and in CI containers generally) it is
+        // Denied with a nonzero errno. Both are valid outcomes — the
         // point is it never panics or corrupts the thread.
         match set_realtime_rr(10) {
             RtOutcome::Applied { priority } => assert!(priority >= 1),
@@ -77,7 +69,7 @@ mod tests {
 
     #[test]
     fn quantum_query_is_harmless() {
-        // May be Some(0) under SCHED_OTHER; must not error out violently.
-        let _ = rr_quantum_ns();
+        // Must not error out violently; None is the documented fallback.
+        assert_eq!(rr_quantum_ns(), None);
     }
 }

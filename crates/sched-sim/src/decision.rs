@@ -9,8 +9,7 @@
 //! of the paper's lower-bound proofs are all just deciders.
 
 use crate::ids::{ProcessId, ProcessorId, Priority};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// A single decision point presented to a [`Decider`].
 ///
@@ -134,22 +133,23 @@ impl Decider for RoundRobin {
 /// Random schedules explore preemption placements a fair scheduler never
 /// produces (including adversarially short first windows when the kernel's
 /// first-credit mode allows them), while remaining reproducible from the
-/// seed.
+/// seed. Backed by the in-tree [`SplitMix64`] generator, so a given seed
+/// selects the same schedule on every platform and toolchain.
 #[derive(Clone, Debug)]
 pub struct SeededRandom {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl SeededRandom {
     /// Creates a decider from `seed`.
     pub fn new(seed: u64) -> Self {
-        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+        SeededRandom { rng: SplitMix64::new(seed) }
     }
 }
 
 impl Decider for SeededRandom {
     fn choose(&mut self, _choice: Choice<'_>, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.index(n)
     }
 }
 

@@ -74,7 +74,11 @@ pub struct ProcInfo {
 
 /// A recorded execution history: a header describing the system plus the
 /// event sequence.
-#[derive(Clone, Debug, Default)]
+///
+/// Histories compare with `==`, which is what replay tests use to assert
+/// that a re-executed schedule is *bit-identical* to the captured one
+/// (see [`crate::obs`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct History {
     /// The scheduling quantum `Q` the run was configured with.
     pub quantum: u32,

@@ -30,6 +30,7 @@ use crate::decision::{Choice, Decider};
 use crate::history::{Event, EventKind, History, ProcInfo, StmtEffect};
 use crate::ids::{ProcessId, ProcessorId, Priority};
 use crate::machine::{StepCtx, StepMachine, StepOutcome};
+use crate::obs::{DecisionKind, ObsCounters, ObsEvent, Trace, WindowCloseReason};
 
 /// How a process's first quantum window is sized.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -242,6 +243,13 @@ pub struct Kernel<M> {
     record_history: bool,
     history: History,
     ops: Vec<OpRecord>,
+    /// Attached observability trace ([`crate::obs`]); `None` means no
+    /// event is ever constructed.
+    obs: Option<Trace>,
+    /// Always-on aggregate scheduler counters.
+    counters: ObsCounters,
+    /// Last process to execute on each cpu, for dispatch events.
+    last_on_cpu: Vec<Option<ProcessId>>,
 }
 
 impl<M: Clone> Clone for Kernel<M> {
@@ -273,6 +281,9 @@ impl<M: Clone> Clone for Kernel<M> {
             record_history: self.record_history,
             history: self.history.clone(),
             ops: self.ops.clone(),
+            obs: self.obs.clone(),
+            counters: self.counters,
+            last_on_cpu: self.last_on_cpu.clone(),
         }
     }
 }
@@ -291,6 +302,9 @@ impl<M> Kernel<M> {
             record_history: spec.record_history,
             history: History { quantum: spec.quantum, procs: Vec::new(), events: Vec::new() },
             ops: Vec::new(),
+            obs: None,
+            counters: ObsCounters::default(),
+            last_on_cpu: Vec::new(),
         }
     }
 
@@ -341,6 +355,7 @@ impl<M> Kernel<M> {
         self.n_cpus = self.n_cpus.max(cpu.index() + 1);
         while self.windows.len() < self.n_cpus {
             self.windows.push(Vec::new());
+            self.last_on_cpu.push(None);
         }
         self.history.procs.push(ProcInfo { pid, cpu, prio, held });
         pid
@@ -357,6 +372,11 @@ impl<M> Kernel<M> {
         let p = &mut self.procs[pid.index()];
         assert_eq!(p.status, Status::Held, "release of a non-held process");
         p.status = Status::Ready;
+        self.counters.releases += 1;
+        if let Some(tr) = self.obs.as_mut() {
+            tr.record(ObsEvent::Release { t: self.clock, pid });
+        }
+        let p = &self.procs[pid.index()];
         if self.record_history {
             self.history.events.push(Event {
                 t: self.clock,
@@ -408,6 +428,29 @@ impl<M> Kernel<M> {
         &self.history
     }
 
+    /// Attaches a fresh observability [`Trace`]: subsequent steps emit
+    /// structured [`ObsEvent`]s into it (see [`crate::obs`]). Replaces any
+    /// previously attached trace. With no trace attached, the kernel
+    /// constructs no events at all.
+    pub fn attach_obs(&mut self) {
+        self.obs = Some(Trace::new());
+    }
+
+    /// The attached observability trace, if any.
+    pub fn obs(&self) -> Option<&Trace> {
+        self.obs.as_ref()
+    }
+
+    /// Detaches and returns the observability trace, if one was attached.
+    pub fn take_obs(&mut self) -> Option<Trace> {
+        self.obs.take()
+    }
+
+    /// The run's aggregate scheduler counters (always maintained).
+    pub fn counters(&self) -> ObsCounters {
+        self.counters
+    }
+
     /// Completed invocations, in completion order.
     pub fn ops(&self) -> &[OpRecord] {
         &self.ops
@@ -449,6 +492,10 @@ impl<M> Kernel<M> {
         &mut self,
         choose: &mut dyn FnMut(Choice<'_>, usize) -> Option<usize>,
     ) -> StepAttempt {
+        // Decisions resolved this step (at most cpu + holder + first-credit),
+        // buffered so an aborted step (NeedChoice) records nothing.
+        let mut taken = [(DecisionKind::Cpu, 0usize, 0usize); 3];
+        let mut n_taken = 0usize;
         // --- read-only phase: resolve all decisions ---
         let cpus = self.runnable_cpus();
         if cpus.is_empty() {
@@ -460,6 +507,8 @@ impl<M> Kernel<M> {
             match choose(Choice::Cpu { options: &cpus }, cpus.len()) {
                 Some(i) => {
                     assert!(i < cpus.len(), "cpu choice out of range");
+                    taken[n_taken] = (DecisionKind::Cpu, cpus.len(), i);
+                    n_taken += 1;
                     cpus[i]
                 }
                 None => return StepAttempt::NeedChoice { arity: cpus.len(), kind: "cpu" },
@@ -489,6 +538,8 @@ impl<M> Kernel<M> {
                     ) {
                         Some(i) => {
                             assert!(i < cands.len(), "holder choice out of range");
+                            taken[n_taken] = (DecisionKind::Holder, cands.len(), i);
+                            n_taken += 1;
                             cands[i]
                         }
                         None => {
@@ -507,6 +558,8 @@ impl<M> Kernel<M> {
                     match choose(Choice::FirstCredit { pid: chosen, quantum: q }, q as usize) {
                         Some(i) => {
                             assert!(i < q as usize, "first-credit choice out of range");
+                            taken[n_taken] = (DecisionKind::FirstCredit, q as usize, i);
+                            n_taken += 1;
                             i as u32 + 1
                         }
                         None => {
@@ -524,6 +577,12 @@ impl<M> Kernel<M> {
         };
 
         // --- mutation phase ---
+        self.counters.decisions += n_taken as u64;
+        if let Some(tr) = self.obs.as_mut() {
+            for &(kind, arity, chosen) in &taken[..n_taken] {
+                tr.record(ObsEvent::Decision { kind, arity, chosen });
+            }
+        }
         if let Some(credit) = new_window_credit {
             // Opening a fresh window. If the previous window's holder is
             // still ready mid-invocation and is being displaced, that is a
@@ -534,6 +593,14 @@ impl<M> Kernel<M> {
                     let victim = &mut self.procs[w.holder.index()];
                     if victim.status == Status::Ready && victim.mid_invocation {
                         victim.stats.quantum_preemptions += 1;
+                        self.counters.same_prio_preemptions += 1;
+                        if let Some(tr) = self.obs.as_mut() {
+                            tr.record(ObsEvent::PreemptSame {
+                                t: self.clock,
+                                victim: w.holder,
+                                by: pid,
+                            });
+                        }
                     }
                 }
             }
@@ -545,10 +612,20 @@ impl<M> Kernel<M> {
                 credit,
                 open: true,
             });
+            self.counters.windows_opened += 1;
+            if let Some(tr) = self.obs.as_mut() {
+                tr.record(ObsEvent::WindowOpen { t: self.clock, cpu, prio, holder: pid, credit });
+            }
         }
 
         let t = self.clock;
         let idx = pid.index();
+        if self.last_on_cpu[cpu.index()] != Some(pid) {
+            self.last_on_cpu[cpu.index()] = Some(pid);
+            if let Some(tr) = self.obs.as_mut() {
+                tr.record(ObsEvent::Dispatch { t, pid, cpu, prio });
+            }
+        }
         // Interleaving bookkeeping: mark every other mid-invocation process
         // on this cpu as interleaved, and account a preemption episode for
         // this process if it was interleaved since its last statement.
@@ -563,20 +640,32 @@ impl<M> Kernel<M> {
             }
         }
         {
+            let mut higher_resume = false;
             let p = &mut self.procs[idx];
             if p.interleaved_same {
                 // already counted as quantum preemption at displacement time
             } else if p.interleaved_higher {
                 p.stats.priority_preemptions += 1;
+                higher_resume = true;
             }
             p.interleaved_same = false;
             p.interleaved_higher = false;
             p.ever_dispatched = true;
+            if higher_resume {
+                self.counters.higher_prio_preemptions += 1;
+                if let Some(tr) = self.obs.as_mut() {
+                    tr.record(ObsEvent::PreemptHigher { t, victim: pid });
+                }
+            }
         }
 
         if !self.procs[idx].mid_invocation {
             // First statement of a new invocation.
             self.procs[idx].inv_start = t;
+            if let Some(tr) = self.obs.as_mut() {
+                let inv_index = self.procs[idx].stats.completed as u32;
+                tr.record(ObsEvent::InvStart { t, pid, inv_index });
+            }
         }
         let mut ctx = StepCtx::new(pid);
         // Split borrow: machine vs memory.
@@ -605,6 +694,19 @@ impl<M> Kernel<M> {
         if effect != StmtEffect::Continue {
             w.open = false;
         }
+        // Axiom 2 window lifecycle, for the observability layer: the window
+        // ends at an invocation boundary or when its credit runs out.
+        let close_reason = match effect {
+            StmtEffect::InvocationEnd => Some(WindowCloseReason::InvocationEnd),
+            StmtEffect::Finished => Some(WindowCloseReason::Finished),
+            StmtEffect::Continue if w.count >= w.credit => Some(WindowCloseReason::Expired),
+            StmtEffect::Continue => None,
+        };
+        if close_reason == Some(WindowCloseReason::Expired) {
+            // A quantum boundary crossed while the holder is inside an
+            // object invocation — the schedule pressure Lemmas 2/3 bound.
+            self.counters.quantum_expiries_mid_invocation += 1;
+        }
         let output = {
             let p = &mut self.procs[idx];
             p.mid_invocation = effect == StmtEffect::Continue;
@@ -619,7 +721,9 @@ impl<M> Kernel<M> {
                 None
             }
         };
+        self.counters.statements += 1;
         if effect != StmtEffect::Continue {
+            self.counters.invocations_completed += 1;
             self.ops.push(OpRecord {
                 start: self.procs[idx].inv_start,
                 t,
@@ -627,6 +731,18 @@ impl<M> Kernel<M> {
                 inv_index: self.procs[idx].machine_inv_index(),
                 output,
             });
+        }
+        if self.obs.is_some() {
+            let inv_index =
+                if effect != StmtEffect::Continue { self.procs[idx].machine_inv_index() } else { 0 };
+            let tr = self.obs.as_mut().expect("checked above");
+            tr.record(ObsEvent::Stmt { t, pid, cpu, prio, effect, label: label.clone() });
+            if effect != StmtEffect::Continue {
+                tr.record(ObsEvent::InvEnd { t, pid, inv_index, output });
+            }
+            if let Some(reason) = close_reason {
+                tr.record(ObsEvent::WindowClose { t, cpu, prio, holder: pid, reason });
+            }
         }
         if self.record_history {
             self.history.events.push(Event {

@@ -57,7 +57,9 @@ pub mod history;
 pub mod ids;
 pub mod kernel;
 pub mod machine;
+pub mod obs;
 pub mod program;
+pub mod rng;
 pub mod trace;
 
 pub use decision::{Decider, RoundRobin, Scripted, SeededRandom};

@@ -1,0 +1,122 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The simulator needs randomness for exactly one purpose: *seeded,
+//! reproducible* schedule exploration (the [`crate::decision::SeededRandom`]
+//! decider and the adversaries of the lower-bound experiments). That calls
+//! for a tiny deterministic generator with a fixed, documented algorithm —
+//! not a cryptographic or platform-dependent one — so the workspace carries
+//! its own instead of an external dependency.
+//!
+//! The algorithm is SplitMix64 (Steele, Lea & Flood, *Fast Splittable
+//! Pseudorandom Number Generators*, OOPSLA 2014): a 64-bit counter stepped
+//! by the golden-ratio increment and scrambled by two xor-shift-multiply
+//! rounds. It is statistically strong for simulation purposes, passes
+//! BigCrush in its output mixing, and — crucially for replayable schedules —
+//! its output sequence is a pure function of the seed, identical on every
+//! platform and build.
+
+/// A seeded SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use sched_sim::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.index(10) < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed`. Equal seeds yield equal sequences.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n` via the multiply-shift range reduction
+    /// (Lemire). The bias is at most `n / 2^64` — immaterial for schedule
+    /// sampling, and the mapping stays a pure function of the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// A uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range");
+        lo + self.index((hi - lo) as usize) as u32
+    }
+
+    /// A uniform `bool`.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference outputs for seed 1234567 from the published SplitMix64
+        // algorithm; pins the implementation against silent drift (replay
+        // artifacts depend on the exact sequence).
+        let mut g = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
+        assert_eq!(got, vec![6457827717110365317, 3203168211198807973, 9817491932198370423]);
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let seq = |seed: u64| {
+            let mut g = SplitMix64::new(seed);
+            (0..100).map(|_| g.index(7)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+
+    #[test]
+    fn index_is_in_range_and_covers() {
+        let mut g = SplitMix64::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let i = g.index(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_u32_respects_bounds() {
+        let mut g = SplitMix64::new(77);
+        for _ in 0..200 {
+            let v = g.range_u32(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

@@ -18,7 +18,18 @@
 //!   expanded read/write implementations.
 //!
 //! All objects count their invocations so experiments can audit step and
-//! space complexity claims.
+//! space complexity claims: the port discipline of the Fig. 7 algorithm
+//! (never invoke a level's `C`-consensus object more than `C` times) and
+//! the access-failure accounting of Lemmas 2/3 are both checked against
+//! these counters rather than trusted.
+//!
+//! This crate is scheduler-agnostic on purpose — objects are plain data
+//! mutated one atomic statement at a time by whatever machine the
+//! `sched-sim` kernel is stepping. Nothing here knows about priorities,
+//! quanta, or histories; that separation is what lets the same object
+//! models serve the simulator, the exhaustive explorer, and the
+//! `native` real-atomics port (which re-implements them over
+//! `std::sync::atomic` with the same invocation accounting).
 //!
 //! # Examples
 //!

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline gate for the workspace: release build, tests, and docs.
+# Everything here runs without network access — the workspace has no
+# external dependencies (see DESIGN.md, "Dependency policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "All checks passed."

@@ -1,0 +1,219 @@
+//! Deterministic replay, end to end: any captured run — seeded-random or
+//! adversary-driven — replays bit-identically from its recorded decision
+//! script, and a failing-oracle trace artifact dumped by
+//! [`hybrid_wf::oracle::check_linearizable_traced`] reproduces the failure
+//! after a disk round trip.
+
+use hybrid_wf::multi::consensus::LocalMode;
+use hybrid_wf::oracle::{check_linearizable, check_linearizable_traced, SeqSpec, TimedOp};
+use hybrid_wf::universal::{op_machine, CounterSpec, UniversalMem};
+use lowerbound::adversary::{fig7_kernel, MaxPreempt};
+use sched_sim::machine::{FnMachine, StepOutcome};
+use sched_sim::obs::Trace;
+use sched_sim::rng::SplitMix64;
+use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use wfmem::Val;
+
+/// A universal-construction counter kernel, built identically on every
+/// call so a captured run can be replayed against a fresh instance.
+fn counter_kernel(n: u32, per: u32, q: u32) -> Kernel<UniversalMem<CounterSpec>> {
+    let mut k = Kernel::new(
+        UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
+        SystemSpec::hybrid(q).with_adversarial_alignment().with_history(),
+    );
+    for pid in 0..n {
+        k.add_process(
+            ProcessorId(0),
+            Priority(1 + pid % 2),
+            Box::new(op_machine(CounterSpec, pid, n, vec![1; per as usize])),
+        );
+    }
+    k
+}
+
+/// Capture → replay across many random seeds and shapes: the replayed
+/// history and the final shared memory are bit-identical to the recording.
+#[test]
+fn seeded_random_runs_replay_bit_identical() {
+    let mut gen = SplitMix64::new(0x0b5_0b5);
+    for case in 0..24u32 {
+        let seed = gen.next_u64();
+        let n = gen.range_u32(2, 5);
+        let per = gen.range_u32(1, 4);
+        let q = gen.range_u32(1, 16);
+
+        let mut k = counter_kernel(n, per, q);
+        k.attach_obs();
+        k.run(&mut SeededRandom::new(seed), 1_000_000);
+        assert!(k.all_finished(), "case {case}: seed {seed} did not finish");
+        let trace = k.take_obs().expect("obs attached");
+
+        let mut r = counter_kernel(n, per, q);
+        r.run(&mut trace.scripted(), 1_000_000);
+        assert_eq!(
+            r.history(),
+            k.history(),
+            "case {case}: seed={seed} n={n} per={per} q={q}"
+        );
+        assert_eq!(r.mem, k.mem, "case {case}: final memory diverged");
+        assert_eq!(r.counters(), k.counters(), "case {case}: counters diverged");
+    }
+}
+
+/// The text serialization is lossless: a trace that goes to text and back
+/// still replays to the identical history.
+#[test]
+fn replay_survives_text_round_trip() {
+    let mut k = counter_kernel(3, 2, 4);
+    k.attach_obs();
+    k.run(&mut SeededRandom::new(99), 1_000_000);
+    assert!(k.all_finished());
+    let trace = k.take_obs().unwrap();
+
+    let text = trace.to_text();
+    let reloaded = Trace::from_text(&text).expect("parses");
+    assert_eq!(reloaded, trace);
+
+    let mut r = counter_kernel(3, 2, 4);
+    r.run(&mut reloaded.scripted(), 1_000_000);
+    assert_eq!(r.history(), k.history());
+    assert_eq!(r.mem, k.mem);
+}
+
+/// Adversary runs are replayable too: the preemption-maximizing
+/// `MaxPreempt` decider from the lower-bound experiments records through
+/// the same decision stream as any other decider.
+#[test]
+fn adversary_run_replays_bit_identical() {
+    for seed in [0u64, 3, 11] {
+        let mk = || {
+            let mut k = fig7_kernel(2, 2, 3, 1, 8, LocalMode::Modeled);
+            k.attach_obs();
+            k
+        };
+        let mut k = mk();
+        k.run(&mut MaxPreempt::new(seed), 50_000_000);
+        assert!(k.all_finished(), "seed {seed}");
+        let trace = k.take_obs().unwrap();
+
+        let mut r = mk();
+        r.run(&mut trace.scripted(), 50_000_000);
+        assert!(r.all_finished(), "seed {seed} replay");
+        let outs = |k: &Kernel<_>| {
+            (0..k.n_processes() as u32)
+                .map(|p| k.output(ProcessId(p)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outs(&r), outs(&k), "seed {seed}");
+        assert_eq!(r.counters(), k.counters(), "seed {seed}");
+    }
+}
+
+/// Fetch-and-increment sequential spec for the lost-update regression.
+#[derive(Clone, Copy, Debug)]
+struct FaiSpec;
+
+impl SeqSpec for FaiSpec {
+    type Op = ();
+    type State = Val;
+
+    fn init(&self) -> Val {
+        0
+    }
+
+    fn apply(&self, state: &Val, _op: &()) -> (Val, Val) {
+        (state + 1, *state)
+    }
+}
+
+/// Shared memory for the racy counter: the counter itself plus one private
+/// register per process (the machine closure must be `Fn`, so the "local"
+/// read stash lives here — only its owner ever touches it).
+type RacyMem = (u64, Vec<u64>);
+
+/// A deliberately racy fetch-and-increment: read the counter in one
+/// statement, write it back incremented in the next. Correct in isolation,
+/// loses updates whenever a quantum boundary splits the two statements —
+/// exactly the failure mode the paper's `Q ≥ c` hypotheses exclude.
+fn racy_fai_machine(me: usize, rounds: u32) -> Box<dyn sched_sim::StepMachine<RacyMem>> {
+    Box::new(FnMachine::new(move |mem: &mut RacyMem, calls| {
+        if calls % 2 == 0 {
+            mem.1[me] = mem.0;
+            (StepOutcome::Continue, None)
+        } else {
+            mem.0 = mem.1[me] + 1;
+            let done = (calls + 1) / 2 >= rounds;
+            (
+                if done { StepOutcome::Finished } else { StepOutcome::InvocationEnd },
+                Some(mem.1[me]),
+            )
+        }
+    }))
+}
+
+fn racy_kernel() -> Kernel<RacyMem> {
+    // Q = 1: every window is a single statement, so the read/write pair is
+    // always separable.
+    let mut k = Kernel::new(
+        (0u64, vec![0u64; 2]),
+        SystemSpec::hybrid(1).with_adversarial_alignment().with_history(),
+    );
+    for me in 0..2 {
+        k.add_process(ProcessorId(0), Priority(1), racy_fai_machine(me, 2));
+    }
+    k
+}
+
+fn timed_fai_ops(k: &Kernel<RacyMem>) -> Vec<TimedOp<()>> {
+    k.ops()
+        .iter()
+        .map(|r| TimedOp { start: r.start, end: r.t, op: (), result: r.output.unwrap() })
+        .collect()
+}
+
+/// A failing linearizability check dumps a trace artifact; reloading that
+/// artifact from disk and replaying it reproduces the identical failing
+/// history — the debugging loop the observability layer exists for.
+#[test]
+fn dumped_failing_oracle_trace_reproduces_failure() {
+    // Find a seed whose schedule loses an update (Q = 1 makes this easy).
+    let mut failing = None;
+    for seed in 0..100u64 {
+        let mut k = racy_kernel();
+        k.attach_obs();
+        k.run(&mut SeededRandom::new(seed), 10_000);
+        assert!(k.all_finished(), "seed {seed}");
+        let trace = k.take_obs().unwrap();
+        let err = check_linearizable_traced(
+            &FaiSpec,
+            &timed_fai_ops(&k),
+            &trace,
+            "racy-fai-regression",
+        );
+        if let Err(e) = err {
+            failing = Some((seed, k, e));
+            break;
+        }
+    }
+    let (seed, k, err) = failing.expect("Q = 1 must admit a lost update within 100 seeds");
+
+    // The error carries the artifact path; the artifact round-trips.
+    let path = err
+        .lines()
+        .find_map(|l| l.strip_prefix("replayable trace dumped to "))
+        .unwrap_or_else(|| panic!("no artifact path in error: {err}"));
+    let text = std::fs::read_to_string(path).expect("artifact readable");
+    let reloaded = Trace::from_text(&text).expect("artifact parses");
+
+    // Replaying the artifact reproduces the same failing history, and the
+    // oracle rejects it again.
+    let mut r = racy_kernel();
+    r.run(&mut reloaded.scripted(), 10_000);
+    assert!(r.all_finished());
+    assert_eq!(r.history(), k.history(), "seed {seed}: replay diverged");
+    assert_eq!(r.mem, k.mem);
+    assert!(
+        check_linearizable(&FaiSpec, &timed_fai_ops(&r)).is_err(),
+        "seed {seed}: replayed run must still violate linearizability"
+    );
+}

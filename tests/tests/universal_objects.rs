@@ -1,10 +1,14 @@
 //! Universality, end to end: wait-free queues and counters built from
 //! consensus, checked for linearizability under randomized hybrid
-//! schedules, including property-based operation mixes.
+//! schedules, including generated operation mixes.
+//!
+//! The generated sweeps use the workspace's own `SplitMix64` so they are
+//! deterministic and dependency-free; failures print the full parameter
+//! tuple needed to reproduce them.
 
-use hybrid_wf::oracle::{check_linearizable, QueueOp, QueueSpec, TimedOp};
+use hybrid_wf::oracle::{check_linearizable_traced, QueueOp, QueueSpec, TimedOp};
 use hybrid_wf::universal::{op_machine, replay_final_state, CounterSpec, UniversalMem};
-use proptest::prelude::*;
+use sched_sim::rng::SplitMix64;
 use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
 
 fn run_queue(
@@ -25,6 +29,9 @@ fn run_queue(
             Box::new(op_machine(QueueSpec, pid as u32, n, ops.clone())),
         );
     }
+    // Capture the run so a failing check leaves a replayable artifact
+    // behind (see crates/core/src/oracle.rs and EXPERIMENTS.md).
+    k.attach_obs();
     k.run(&mut SeededRandom::new(seed), 2_000_000);
     if !k.all_finished() {
         return Err("did not finish".into());
@@ -39,7 +46,8 @@ fn run_queue(
             result: r.output.unwrap(),
         })
         .collect();
-    check_linearizable(&QueueSpec, &timed)
+    let trace = k.take_obs().expect("obs attached");
+    check_linearizable_traced(&QueueSpec, &timed, &trace, &format!("queue-seed{seed}-q{q}"))
 }
 
 #[test]
@@ -54,38 +62,46 @@ fn queue_mixed_priorities_many_seeds() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Arbitrary small op mixes at arbitrary priorities stay linearizable.
-    #[test]
-    fn prop_queue_linearizable(
-        seed in 0u64..1000,
-        quantum in 1u32..32,
-        ops0 in proptest::collection::vec(0u8..3, 1..4),
-        ops1 in proptest::collection::vec(0u8..3, 1..4),
-        prio0 in 1u32..4,
-        prio1 in 1u32..4,
-    ) {
-        let decode = |v: &Vec<u8>, base: u64| -> Vec<QueueOp> {
-            v.iter()
-                .enumerate()
-                .map(|(i, &x)| if x == 0 { QueueOp::Deq } else { QueueOp::Enq(base + i as u64) })
+/// Arbitrary small op mixes at arbitrary priorities stay linearizable.
+#[test]
+fn generated_queue_mixes_linearizable() {
+    let mut gen = SplitMix64::new(0x11bea12);
+    for case in 0..48u32 {
+        let seed = gen.next_u64() % 1000;
+        let quantum = gen.range_u32(1, 32);
+        let mut decode = |gen: &mut SplitMix64, base: u64| -> Vec<QueueOp> {
+            let len = gen.range_u32(1, 4) as usize;
+            (0..len)
+                .map(|i| {
+                    if gen.range_u32(0, 3) == 0 {
+                        QueueOp::Deq
+                    } else {
+                        QueueOp::Enq(base + i as u64)
+                    }
+                })
                 .collect()
         };
-        let plans = vec![(prio0, decode(&ops0, 100)), (prio1, decode(&ops1, 200))];
-        prop_assert!(run_queue(seed, quantum, &plans).is_ok());
+        let ops0 = decode(&mut gen, 100);
+        let ops1 = decode(&mut gen, 200);
+        let prio0 = gen.range_u32(1, 4);
+        let prio1 = gen.range_u32(1, 4);
+        let plans = vec![(prio0, ops0), (prio1, ops1)];
+        run_queue(seed, quantum, &plans).unwrap_or_else(|e| {
+            panic!("case {case}: seed={seed} quantum={quantum} plans={plans:?}: {e}")
+        });
     }
+}
 
-    /// Counter total is exact under arbitrary schedules: no lost or
-    /// duplicated increments, whatever the quantum.
-    #[test]
-    fn prop_counter_exact(
-        seed in 0u64..1000,
-        quantum in 1u32..32,
-        n in 1u32..5,
-        per in 1u32..5,
-    ) {
+/// Counter total is exact under arbitrary schedules: no lost or
+/// duplicated increments, whatever the quantum.
+#[test]
+fn generated_counter_totals_exact() {
+    let mut gen = SplitMix64::new(0xc0117e4);
+    for case in 0..48u32 {
+        let seed = gen.next_u64() % 1000;
+        let quantum = gen.range_u32(1, 32);
+        let n = gen.range_u32(1, 5);
+        let per = gen.range_u32(1, 5);
         let mut k = Kernel::new(
             UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
             SystemSpec::hybrid(quantum).with_adversarial_alignment(),
@@ -101,8 +117,9 @@ proptest! {
             );
         }
         k.run(&mut SeededRandom::new(seed), 2_000_000);
-        prop_assert!(k.all_finished());
-        prop_assert_eq!(replay_final_state(&CounterSpec, &k.mem), total);
+        let ctx = format!("case {case}: seed={seed} quantum={quantum} n={n} per={per}");
+        assert!(k.all_finished(), "not all finished — {ctx}");
+        assert_eq!(replay_final_state(&CounterSpec, &k.mem), total, "{ctx}");
         let _ = k.output(ProcessId(0));
     }
 }
