@@ -5,18 +5,18 @@ use bench::group;
 use hybrid_wf::multi::consensus::{LocalMode, MultiMem};
 use hybrid_wf::multi::fair::{decide_machine, FairMem};
 use hybrid_wf::multi::ports::PortLayout;
-use lowerbound::adversary::fig7_kernel;
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+use lowerbound::adversary::fig7_scenario;
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
-fn fair_run(q: u32) -> u64 {
+fn fair_scenario(q: u32) -> Scenario<FairMem> {
     let (p, v) = (2u32, 2u32);
     let cpu_of = [0u32, 0, 1, 1];
     let prio_of = [1u32, 2, 1, 2];
     let layout = PortLayout::new(p, 2 * p, v);
     let mem = FairMem::new(MultiMem::new(layout, v, &prio_of, &cpu_of));
-    let mut k = Kernel::new(mem, SystemSpec::hybrid(q));
+    let mut s = Scenario::new(mem, SystemSpec::hybrid(q)).step_budget(10_000_000);
     for pid in 0..4u32 {
-        k.add_process(
+        s.add_process(
             ProcessorId(cpu_of[pid as usize]),
             Priority(prio_of[pid as usize]),
             Box::new(decide_machine(
@@ -28,16 +28,15 @@ fn fair_run(q: u32) -> u64 {
             )),
         );
     }
-    k.run(&mut RoundRobin::new(), 10_000_000)
+    s
 }
 
 fn main() {
     let mut g = group("fig9_fair");
     for q in [2u32, 4, 8] {
-        g.bench(&format!("fair_constant_q{q}"), || fair_run(q));
+        let s = fair_scenario(q);
+        g.bench(&format!("fair_constant_q{q}"), || s.run_fair().steps);
     }
-    g.bench("fig7_reference_q64", || {
-        let mut k = fig7_kernel(2, 4, 2, 2, 64, LocalMode::Modeled);
-        k.run(&mut RoundRobin::new(), 10_000_000)
-    });
+    let s = fig7_scenario(2, 4, 2, 2, 64, LocalMode::Modeled).step_budget(10_000_000);
+    g.bench("fig7_reference_q64", || s.run_fair().steps);
 }

@@ -4,23 +4,18 @@
 
 use bench::group;
 use hybrid_wf::multi::consensus::LocalMode;
-use lowerbound::adversary::fig7_kernel;
-use sched_sim::RoundRobin;
+use lowerbound::adversary::fig7_scenario;
 
 fn main() {
     let mut g = group("fig7_consensus");
     for (p, m) in [(1u32, 2u32), (2, 2), (3, 2), (2, 4)] {
-        g.bench(&format!("modeled_P{p}_M{m}"), || {
-            let mut k = fig7_kernel(p, p, m, 1, 64, LocalMode::Modeled);
-            k.run(&mut RoundRobin::new(), 100_000_000)
-        });
+        let s = fig7_scenario(p, p, m, 1, 64, LocalMode::Modeled).step_budget(100_000_000);
+        g.bench(&format!("modeled_P{p}_M{m}"), || s.run_fair().steps);
     }
     // Ablation: expanded Fig. 3 port elections (8 statements each) vs
     // modeled-atomic ones.
     for mode in [LocalMode::Modeled, LocalMode::Expanded] {
-        g.bench(&format!("ablation_local_mode_{mode:?}"), || {
-            let mut k = fig7_kernel(2, 3, 2, 2, 64, mode);
-            k.run(&mut RoundRobin::new(), 100_000_000)
-        });
+        let s = fig7_scenario(2, 3, 2, 2, 64, mode).step_budget(100_000_000);
+        g.bench(&format!("ablation_local_mode_{mode:?}"), || s.run_fair().steps);
     }
 }

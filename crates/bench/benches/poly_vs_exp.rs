@@ -6,26 +6,24 @@
 use bench::group;
 use hybrid_wf::baseline::exponential::{decide_machine as exp_machine, ExpMem};
 use hybrid_wf::multi::consensus::LocalMode;
-use lowerbound::adversary::fig7_kernel;
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+use lowerbound::adversary::fig7_scenario;
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
 fn main() {
     let mut g = group("poly_vs_exp");
     for n in [2u32, 6, 10] {
-        g.bench(&format!("fig7_polynomial_n{n}"), || {
-            let mut k = fig7_kernel(1, 1, n, 1, 64, LocalMode::Modeled);
-            k.run(&mut RoundRobin::new(), 100_000_000)
-        });
-        g.bench(&format!("exponential_baseline_n{n}"), || {
-            let mut k = Kernel::new(ExpMem::new(n), SystemSpec::hybrid(4));
-            for pid in 0..n {
-                k.add_process(
-                    ProcessorId(0),
-                    Priority(pid + 1),
-                    Box::new(exp_machine(pid, u64::from(pid) + 1)),
-                );
-            }
-            k.run(&mut RoundRobin::new(), 500_000_000)
-        });
+        let s7 = fig7_scenario(1, 1, n, 1, 64, LocalMode::Modeled).step_budget(100_000_000);
+        g.bench(&format!("fig7_polynomial_n{n}"), || s7.run_fair().steps);
+
+        let mut se = Scenario::new(ExpMem::new(n), SystemSpec::hybrid(4))
+            .step_budget(500_000_000);
+        for pid in 0..n {
+            se.add_process(
+                ProcessorId(0),
+                Priority(pid + 1),
+                Box::new(exp_machine(pid, u64::from(pid) + 1)),
+            );
+        }
+        g.bench(&format!("exponential_baseline_n{n}"), || se.run_fair().steps);
     }
 }

@@ -6,8 +6,7 @@
 
 use bench::group;
 use hybrid_wf::multi::consensus::LocalMode;
-use lowerbound::adversary::fig7_kernel;
-use sched_sim::RoundRobin;
+use lowerbound::adversary::fig7_scenario;
 
 fn main() {
     let mut g = group("table1_cost_along_c");
@@ -16,9 +15,7 @@ fn main() {
         // Paper upper bound shape: Q ∝ (2P + 1 − C); c ≈ 16 covers the
         // implementation's constant.
         let q = 16 * (2 * p + 1 - cc);
-        g.bench(&format!("P{p}_C{cc}_Q{q}"), || {
-            let mut k = fig7_kernel(p, cc, 2, 1, q, LocalMode::Modeled);
-            k.run(&mut RoundRobin::new(), 100_000_000)
-        });
+        let s = fig7_scenario(p, cc, 2, 1, q, LocalMode::Modeled).step_budget(100_000_000);
+        g.bench(&format!("P{p}_C{cc}_Q{q}"), || s.run_fair().steps);
     }
 }

@@ -4,12 +4,12 @@
 
 use bench::group;
 use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+use sched_sim::{ProcessId, ProcessorId, Priority, RoundRobin, Scenario, SystemSpec};
 
-fn one_cas_at_v(v: u32) -> u64 {
+fn cas_scenario(v: u32) -> (Scenario<CasMem>, ProcessId) {
     let n = 2;
-    let mut k = Kernel::new(CasMem::new(v, &[v, v], 100), SystemSpec::hybrid(4096));
-    k.add_process(
+    let mut s = Scenario::new(CasMem::new(v, &[v, v], 100), SystemSpec::hybrid(4096));
+    s.add_process(
         ProcessorId(0),
         Priority(v),
         Box::new(op_machine(
@@ -24,20 +24,26 @@ fn one_cas_at_v(v: u32) -> u64 {
             ],
         )),
     );
-    let p1 = k.add_held_process(
+    let p1 = s.add_held_process(
         ProcessorId(0),
         Priority(v),
         Box::new(op_machine(1, v, n, v, vec![CasOp::Cas { old: 3, new: 4 }])),
     );
-    let mut d = RoundRobin::new();
-    k.run(&mut d, 1_000_000);
-    k.release(p1);
-    k.run(&mut d, 1_000_000)
+    (s, p1)
 }
 
 fn main() {
     let mut g = group("fig5_cas_vs_v");
     for v in [1u32, 2, 4, 8] {
-        g.bench(&format!("v{v}"), || one_cas_at_v(v));
+        let (s, p1) = cas_scenario(v);
+        // Mid-run choreography (release after the stale heads pile up), so
+        // build a fresh kernel per iteration and drive it directly.
+        g.bench(&format!("v{v}"), || {
+            let mut k = s.kernel();
+            let mut d = RoundRobin::new();
+            k.run(&mut d, 1_000_000);
+            k.release(p1);
+            k.run(&mut d, 1_000_000)
+        });
     }
 }

@@ -3,21 +3,20 @@
 
 use bench::group;
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
 fn main() {
     let mut g = group("fig3_consensus_vs_n");
     for n in [1u32, 4, 16, 64] {
-        g.bench(&format!("n{n}"), || {
-            let mut k = Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM));
-            for i in 0..n {
-                k.add_process(
-                    ProcessorId(0),
-                    Priority(1 + i % 3),
-                    Box::new(decide_machine(u64::from(i))),
-                );
-            }
-            k.run(&mut RoundRobin::new(), 1_000_000)
-        });
+        let mut s = Scenario::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM))
+            .step_budget(1_000_000);
+        for i in 0..n {
+            s.add_process(
+                ProcessorId(0),
+                Priority(1 + i % 3),
+                Box::new(decide_machine(u64::from(i))),
+            );
+        }
+        g.bench(&format!("n{n}"), || s.run_fair().steps);
     }
 }

@@ -6,35 +6,38 @@
 use bench::group;
 use hybrid_wf::baseline::locks::{inc_machine, LockMem};
 use hybrid_wf::universal::{op_machine, CounterSpec, UniversalMem};
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
-fn universal_counter(n: u32, per: u32) -> u64 {
-    let mut k = Kernel::new(
+fn universal_counter(n: u32, per: u32) -> Scenario<UniversalMem<CounterSpec>> {
+    let mut s = Scenario::new(
         UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
         SystemSpec::hybrid(8),
-    );
+    )
+    .step_budget(10_000_000);
     for pid in 0..n {
-        k.add_process(
+        s.add_process(
             ProcessorId(0),
             Priority(1),
             Box::new(op_machine(CounterSpec, pid, n, vec![1; per as usize])),
         );
     }
-    k.run(&mut RoundRobin::new(), 10_000_000)
+    s
 }
 
-fn locked_counter(n: u32, per: u32) -> u64 {
-    let mut k = Kernel::new(LockMem::default(), SystemSpec::hybrid(8));
+fn locked_counter(n: u32, per: u32) -> Scenario<LockMem> {
+    let mut s = Scenario::new(LockMem::default(), SystemSpec::hybrid(8)).step_budget(10_000_000);
     for pid in 0..n {
-        k.add_process(ProcessorId(0), Priority(1), Box::new(inc_machine(pid, per, 2)));
+        s.add_process(ProcessorId(0), Priority(1), Box::new(inc_machine(pid, per, 2)));
     }
-    k.run(&mut RoundRobin::new(), 10_000_000)
+    s
 }
 
 fn main() {
     let mut g = group("universal_vs_lock_counter");
     for n in [2u32, 4, 8] {
-        g.bench(&format!("wait_free_universal_n{n}"), || universal_counter(n, 8));
-        g.bench(&format!("lock_based_n{n}"), || locked_counter(n, 8));
+        let wf = universal_counter(n, 8);
+        g.bench(&format!("wait_free_universal_n{n}"), || wf.run_fair().steps);
+        let lk = locked_counter(n, 8);
+        g.bench(&format!("lock_based_n{n}"), || lk.run_fair().steps);
     }
 }

@@ -15,6 +15,16 @@
 //! * `--fig8`      — Fig. 8: the level/port layout
 //! * `--poly-vs-exp` — polynomial Fig. 7 vs exponential baseline
 //! * `--obs`       — observability: per-run counters + capture/replay demo
+//!
+//! Sweep-shaped experiments (`--table1 --thm1 --thm4 --failures`) run over
+//! the `sched_sim::sweep` worker pool; `--jobs N` sets the worker count
+//! (default: available parallelism). Results are **bit-identical for every
+//! jobs value** — only wall time changes. They also emit line-oriented
+//! JSON artifacts: `BENCH_table1.json` (the Table 1 grid) and
+//! `BENCH_sweeps.json` (the other sweeps). `--validate FILE` checks such
+//! an artifact against the cell schema and exits.
+
+use std::time::Duration;
 
 use hybrid_wf::multi::consensus::LocalMode;
 use hybrid_wf::multi::failures::{lemma2_holds, lemma3_bound_holds, summarize};
@@ -22,26 +32,60 @@ use hybrid_wf::multi::ports::PortLayout;
 use hybrid_wf::uni::cas::{op_machine as cas_machine, CasMem, CasOp};
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use hybrid_wf::universal::{op_machine as universal_machine, CounterSpec, UniversalMem};
-use lowerbound::adversary::{fig7_kernel, MaxPreempt};
+use lowerbound::adversary::{adversary_for_seed, fig7_scenario};
 use lowerbound::fig6;
 use lowerbound::valency::bivalent_chain_depth;
-use sched_sim::decision::{Decider, RoundRobin, SeededRandom};
+use sched_sim::decision::RoundRobin;
 use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
-use sched_sim::kernel::{Kernel, SystemSpec};
+use sched_sim::kernel::SystemSpec;
+use sched_sim::report::{validate_cells, Json, CELL_SCHEMA};
+use sched_sim::scenario::{RunResult, Scenario};
+use sched_sim::sweep::{cross, default_jobs, run_cells};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    // Standalone artifact validation: `--validate FILE`.
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--validate needs a file path");
+            std::process::exit(2);
+        });
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| validate_cells(&text, CELL_SCHEMA))
+        {
+            Ok(cells) => {
+                println!("{path}: OK ({cells} cells)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse::<usize>().expect("--jobs needs an integer"))
+        .unwrap_or_else(default_jobs);
+    let flags: Vec<&String> =
+        args.iter().filter(|a| a.starts_with("--") && *a != "--jobs").collect();
+    let all = flags.is_empty() || flags.iter().any(|a| *a == "--all");
+    let want = |flag: &str| all || flags.iter().any(|a| *a == flag);
 
     println!("hybrid-wf experiment harness — Anderson & Moir, PODC 1999");
     println!("===========================================================\n");
+    let mut sweeps: Vec<Json> = Vec::new();
     if want("--lemma1") {
         lemma1();
     }
     if want("--thm1") {
-        thm1();
+        sweeps.extend(thm1(jobs));
     }
     if want("--thm2") {
         thm2();
@@ -50,10 +94,10 @@ fn main() {
         fig8();
     }
     if want("--thm4") {
-        thm4();
+        sweeps.extend(thm4(jobs));
     }
     if want("--failures") {
-        failures();
+        sweeps.extend(failures(jobs));
     }
     if want("--thm3") {
         thm3();
@@ -62,7 +106,8 @@ fn main() {
         valency();
     }
     if want("--table1") {
-        table1();
+        let cells = table1(jobs);
+        write_artifact("BENCH_table1.json", &cells);
     }
     if want("--poly-vs-exp") {
         poly_vs_exp();
@@ -70,19 +115,42 @@ fn main() {
     if want("--obs") {
         obs();
     }
+    if !sweeps.is_empty() {
+        write_artifact("BENCH_sweeps.json", &sweeps);
+    }
+}
+
+/// Writes a line-oriented JSON artifact (one cell per line), self-checking
+/// it against the standard cell schema first.
+fn write_artifact(path: &str, lines: &[Json]) {
+    let mut out =
+        String::from("# hybrid-wf sweep artifact: one JSON cell per line (see sched_sim::report)\n");
+    for line in lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    let cells = validate_cells(&out, CELL_SCHEMA).expect("artifact failed self-validation");
+    std::fs::write(path, out).expect("write artifact");
+    println!("  [artifact] wrote {path} ({cells} cells)\n");
+}
+
+fn wall_ms(d: Duration) -> f64 {
+    // Round to 1 µs so artifacts stay compact; wall time is metadata and
+    // never part of a determinism comparison.
+    (d.as_secs_f64() * 1e3 * 1e3).round() / 1e3
 }
 
 fn lemma1() {
     println!("── Lemma 1 (Fig. 4): exhaustive schedule enumeration, Fig. 3 consensus ──");
     let mk = |q: u32, inputs: &[(u64, u32)]| {
-        let mut k = Kernel::new(
+        let mut s = Scenario::new(
             UniConsensusMem::default(),
             SystemSpec::hybrid(q).with_adversarial_alignment(),
         );
         for &(v, pr) in inputs {
-            k.add_process(ProcessorId(0), Priority(pr), Box::new(decide_machine(v)));
+            s.add_process(ProcessorId(0), Priority(pr), Box::new(decide_machine(v)));
         }
-        k
+        s.into_kernel()
     };
     for (label, inputs) in [
         ("2 procs, same priority", vec![(1u64, 1u32), (2, 1)]),
@@ -125,23 +193,37 @@ fn lemma1() {
     println!("  Q = 1, 2 procs: {bad} of {total} schedules DISAGREE — the Q ≥ 8 hypothesis is tight\n");
 }
 
-fn thm1() {
+fn thm1(jobs: usize) -> Vec<Json> {
     println!("── Theorem 1: Fig. 3 consensus is constant-time (reads/writes only) ──");
-    println!("  N processes on one processor, Q = 8, fair round-robin:");
-    for n in [1u32, 2, 4, 8, 16, 32] {
-        let mut k = Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM));
+    println!("  N processes on one processor, Q = 8, fair round-robin ({jobs} jobs):");
+    let cells = [1u32, 2, 4, 8, 16, 32];
+    let results = run_cells(&cells, jobs, |_, &n| {
+        let mut s = Scenario::new(UniConsensusMem::default(), SystemSpec::hybrid(MIN_QUANTUM))
+            .step_budget(10_000_000);
         for i in 0..n {
-            k.add_process(
+            s.add_process(
                 ProcessorId(0),
                 Priority(1 + i % 3),
                 Box::new(decide_machine(u64::from(i))),
             );
         }
-        k.run(&mut RoundRobin::new(), 10_000_000);
-        let max_steps = (0..n).map(|p| k.stats(ProcessId(p)).own_steps).max().unwrap();
+        s.run_fair()
+    });
+    let mut lines = Vec::new();
+    for (&n, r) in cells.iter().zip(&results) {
+        let max_steps = r.max_own_steps();
         println!("    N = {n:>2}: max own-statements per decide = {max_steps} (constant = 8)");
+        lines.push(Json::obj([
+            ("kind", Json::from("thm1")),
+            ("cell", Json::obj([("n", Json::from(n))])),
+            ("steps", Json::from(r.steps)),
+            ("wall_ms", Json::from(wall_ms(r.wall))),
+            ("max_own_steps", Json::from(max_steps)),
+            ("agreed", Json::from(r.agreed_output().is_some())),
+        ]));
     }
     println!();
+    lines
 }
 
 fn thm2() {
@@ -149,8 +231,8 @@ fn thm2() {
     println!("  stale heads at V levels; measured: statements for one C&S:");
     for v in 1..=8u32 {
         let n = 2;
-        let mut k = Kernel::new(CasMem::new(v, &[v, v], 100), SystemSpec::hybrid(4096));
-        k.add_process(
+        let mut s = Scenario::new(CasMem::new(v, &[v, v], 100), SystemSpec::hybrid(4096));
+        s.add_process(
             ProcessorId(0),
             Priority(v),
             Box::new(cas_machine(
@@ -165,11 +247,14 @@ fn thm2() {
                 ],
             )),
         );
-        let p1 = k.add_held_process(
+        let p1 = s.add_held_process(
             ProcessorId(0),
             Priority(v),
             Box::new(cas_machine(1, v, n, v, vec![CasOp::Cas { old: 3, new: 4 }])),
         );
+        // Mid-run choreography (release after the stale heads pile up), so
+        // drive the kernel directly.
+        let mut k = s.into_kernel();
         let mut d = RoundRobin::new();
         k.run(&mut d, 1_000_000);
         k.release(p1);
@@ -185,51 +270,86 @@ fn fig8() {
     println!();
 }
 
-fn thm4() {
-    println!("── Theorem 4: Fig. 7 is polynomial — worst own-steps & space vs M, P ──");
-    for p in 1..=3u32 {
-        for m in 1..=3u32 {
-            let c = p; // weakest objects: K = 0, largest L
-            let mut k = fig7_kernel(p, c, m, 1, 64, LocalMode::Modeled);
-            let l = k.mem.layout.l;
-            let mut d = RoundRobin::new();
-            k.run(&mut d, 100_000_000);
-            let n = k.n_processes() as u32;
-            let max_steps = (0..n).map(|q| k.stats(ProcessId(q)).own_steps).max().unwrap();
-            println!(
-                "    P = {p}, C = {c}, M = {m}: L = {l:>3} levels, N = {n}, max own-steps = {max_steps}"
-            );
-        }
+fn thm4(jobs: usize) -> Vec<Json> {
+    println!("── Theorem 4: Fig. 7 is polynomial — worst own-steps & space vs M, P ({jobs} jobs) ──");
+    let cells = cross(&[1u32, 2, 3], &[1u32, 2, 3]); // (P, M); C = P (weakest objects)
+    let results = run_cells(&cells, jobs, |_, &(p, m)| {
+        let s = fig7_scenario(p, p, m, 1, 64, LocalMode::Modeled).step_budget(100_000_000);
+        s.run_fair()
+    });
+    let mut lines = Vec::new();
+    for (&(p, m), r) in cells.iter().zip(&results) {
+        let c = p;
+        let l = r.mem().layout.l;
+        let n = r.outputs.len() as u32;
+        let max_steps = r.max_own_steps();
+        println!(
+            "    P = {p}, C = {c}, M = {m}: L = {l:>3} levels, N = {n}, max own-steps = {max_steps}"
+        );
+        lines.push(Json::obj([
+            ("kind", Json::from("thm4")),
+            ("cell", Json::obj([
+                ("p", Json::from(p)),
+                ("c", Json::from(c)),
+                ("m", Json::from(m)),
+            ])),
+            ("steps", Json::from(r.steps)),
+            ("wall_ms", Json::from(wall_ms(r.wall))),
+            ("levels", Json::from(l)),
+            ("n", Json::from(n)),
+            ("max_own_steps", Json::from(max_steps)),
+        ]));
     }
     println!();
+    lines
 }
 
-fn failures() {
+fn failures(jobs: usize) -> Vec<Json> {
+    const QS: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+    const SEEDS: u64 = 100;
     println!("── Lemmas 2/3: access failures vs quantum (P=2, C=2, M=3, V=1) ──");
-    println!("  adversary: holder-rotating + random, 100 seeds per Q");
+    println!("  adversary: holder-rotating + random, {SEEDS} seeds per Q ({jobs} jobs)");
     println!("    Q    total-AF  worst-run  lemma2  lemma3-bound  deciding-level");
-    for q in [1u32, 2, 4, 8, 16, 32, 64, 128] {
-        let mut total = 0u32;
-        let mut worst = 0u32;
-        let mut l2 = true;
-        let mut l3 = true;
-        let mut dec = true;
-        for seed in 0..100u64 {
-            let mut k = fig7_kernel(2, 2, 3, 1, q, LocalMode::Modeled);
-            let mut mp = MaxPreempt::new(seed);
-            let mut sr = SeededRandom::new(seed);
-            let d: &mut dyn Decider = if seed % 2 == 0 { &mut mp } else { &mut sr };
-            k.run(d, 50_000_000);
-            let s = summarize(&k.mem);
-            total += s.same + s.diff;
-            worst = worst.max(s.same + s.diff);
-            l2 &= lemma2_holds(&k.mem);
-            l3 &= lemma3_bound_holds(&k.mem);
-            dec &= !s.clean_levels.is_empty();
-        }
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    let cells = cross(&QS, &seeds);
+    let per = run_cells(&cells, jobs, |_, &(q, seed)| {
+        let s = fig7_scenario(2, 2, 3, 1, q, LocalMode::Modeled);
+        let r = s.run(&mut *adversary_for_seed(seed));
+        let sm = summarize(r.mem());
+        (
+            sm.same + sm.diff,
+            lemma2_holds(r.mem()),
+            lemma3_bound_holds(r.mem()),
+            !sm.clean_levels.is_empty(),
+            r.steps,
+            r.wall,
+        )
+    });
+    let mut lines = Vec::new();
+    for (qi, &q) in QS.iter().enumerate() {
+        let runs = &per[qi * SEEDS as usize..(qi + 1) * SEEDS as usize];
+        let total: u32 = runs.iter().map(|r| r.0).sum();
+        let worst: u32 = runs.iter().map(|r| r.0).max().unwrap_or(0);
+        let l2 = runs.iter().all(|r| r.1);
+        let l3 = runs.iter().all(|r| r.2);
+        let dec = runs.iter().all(|r| r.3);
+        let steps: u64 = runs.iter().map(|r| r.4).sum();
+        let wall: Duration = runs.iter().map(|r| r.5).sum();
         println!("    {q:>3}  {total:>8}  {worst:>9}  {l2:>6}  {l3:>12}  {dec:>14}");
+        lines.push(Json::obj([
+            ("kind", Json::from("failures")),
+            ("cell", Json::obj([("q", Json::from(q)), ("seeds", Json::from(SEEDS))])),
+            ("steps", Json::from(steps)),
+            ("wall_ms", Json::from(wall_ms(wall))),
+            ("total_af", Json::from(total)),
+            ("worst_af", Json::from(worst)),
+            ("lemma2", Json::from(l2)),
+            ("lemma3_bound", Json::from(l3)),
+            ("deciding_level", Json::from(dec)),
+        ]));
     }
     println!();
+    lines
 }
 
 fn thm3() {
@@ -254,79 +374,131 @@ fn thm3() {
 fn valency() {
     println!("── Fig. 10: bivalent chain depth (Fig. 3 consensus, 2 procs) ──");
     for q in [1u32, 2, 4, 8] {
-        let mut k = Kernel::new(
+        let k = Scenario::new(
             UniConsensusMem::default(),
             SystemSpec::hybrid(q).with_adversarial_alignment(),
-        );
-        k.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(1)));
-        k.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(2)));
+        )
+        .process(ProcessorId(0), Priority(1), Box::new(decide_machine(1)))
+        .process(ProcessorId(0), Priority(1), Box::new(decide_machine(2)))
+        .into_kernel();
         let d = bivalent_chain_depth(&k, 16, ExploreBounds::default());
         println!("    Q = {q}: adversary sustains bivalence for {d} statements (of 16 total)");
     }
     println!();
 }
 
-/// The headline: Table 1.
-fn table1() {
+/// The Q axis of the Table 1 grid: every quantum probed at every (P, C).
+/// The measured thresholds all sit well inside `1..=8`; 12 and 16 confirm
+/// stability above the knee.
+const TABLE1_QS: [u32; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 12, 16];
+const TABLE1_SEEDS: u64 = 60;
+
+/// One probe of the Table 1 grid: does Fig. 7 at (p, c, q) survive all
+/// adversary seeds? Early-exits on the first failing seed.
+struct Probe {
+    q: u32,
+    ok: bool,
+    seeds_run: u64,
+    fail_seed: Option<u64>,
+    steps: u64,
+    wall: Duration,
+}
+
+fn probe_cell(p: u32, c: u32, q: u32) -> Probe {
+    let m = 3;
+    let scenario = fig7_scenario(p, c, m, 1, q, LocalMode::Modeled);
+    let mut steps = 0u64;
+    let mut wall = Duration::ZERO;
+    for seed in 0..TABLE1_SEEDS {
+        let r = scenario.run(&mut *adversary_for_seed(seed));
+        steps += r.steps;
+        wall += r.wall;
+        let ok = r.agreed_output().is_some()
+            && lemma3_bound_holds(r.mem())
+            && !summarize(r.mem()).clean_levels.is_empty();
+        if !ok {
+            return Probe { q, ok: false, seeds_run: seed + 1, fail_seed: Some(seed), steps, wall };
+        }
+    }
+    Probe { q, ok: true, seeds_run: TABLE1_SEEDS, fail_seed: None, steps, wall }
+}
+
+/// The headline: Table 1, swept in parallel over the (P, C) cells; each
+/// cell probes the full Q axis.
+fn table1(jobs: usize) -> Vec<Json> {
     println!("── Table 1: conditions for universality of a C-consensus object on P processors ──");
     println!("  paper upper bound: Q ≥ c(2P+1−C)·Tmax for P ≤ C ≤ 2P; Q ≥ c·Tmax for C ≥ 2P");
     println!("  paper lower bound: consensus impossible if Q ≤ max(1, 2P−C)");
+    println!("  grid: Q ∈ {TABLE1_QS:?}, {TABLE1_SEEDS} adversary seeds per probe ({jobs} jobs)");
     println!();
     println!("   P  C | paper-upper-shape  measured-min-Q | paper-lower  Fig6-witness");
     println!("  ------+-----------------------------------+---------------------------");
+    let mut pcs = Vec::new();
     for p in 1..=3u32 {
         for c in p..=2 * p {
-            let shape = if c >= 2 * p { "c".to_string() } else { format!("c·{}", 2 * p + 1 - c) };
-            let measured = measured_min_q(p, c);
-            let lower = 1u32.max(2u32.saturating_mul(p).saturating_sub(c));
-            let witness = if p >= 2 && c < 2 * p {
-                if fig6::construct(p, c).contradiction() {
-                    "contradiction ✓"
-                } else {
-                    "—"
-                }
-            } else if p == 1 {
-                "n/a (P = 1)"
-            } else {
-                "n/a (C = 2P)"
-            };
-            println!("   {p}  {c} | {shape:>17}  {measured:>14} | {lower:>11}  {witness}");
+            pcs.push((p, c));
         }
     }
+    let probed: Vec<Vec<Probe>> = run_cells(&pcs, jobs, |_, &(p, c)| {
+        TABLE1_QS.iter().map(|&q| probe_cell(p, c, q)).collect()
+    });
+    let mut lines = Vec::new();
+    for (&(p, c), probes) in pcs.iter().zip(&probed) {
+        let min_q = probes.iter().find(|pr| pr.ok).map(|pr| pr.q);
+        let measured = min_q.map_or_else(|| format!(">{}", TABLE1_QS[9]), |q| q.to_string());
+        let shape = if c >= 2 * p { "c".to_string() } else { format!("c·{}", 2 * p + 1 - c) };
+        let lower = 1u32.max(2u32.saturating_mul(p).saturating_sub(c));
+        let witness = if p >= 2 && c < 2 * p {
+            if fig6::construct(p, c).contradiction() {
+                "contradiction ✓"
+            } else {
+                "—"
+            }
+        } else if p == 1 {
+            "n/a (P = 1)"
+        } else {
+            "n/a (C = 2P)"
+        };
+        println!("   {p}  {c} | {shape:>17}  {measured:>14} | {lower:>11}  {witness}");
+        let mut cell_steps = 0u64;
+        let mut cell_wall = Duration::ZERO;
+        for pr in probes {
+            cell_steps += pr.steps;
+            cell_wall += pr.wall;
+            let mut obj = vec![
+                ("kind", Json::from("table1")),
+                ("cell", Json::obj([
+                    ("p", Json::from(p)),
+                    ("c", Json::from(c)),
+                    ("q", Json::from(pr.q)),
+                ])),
+                ("steps", Json::from(pr.steps)),
+                ("wall_ms", Json::from(wall_ms(pr.wall))),
+                ("verdict", Json::from(if pr.ok { "ok" } else { "violation" })),
+                ("seeds_run", Json::from(pr.seeds_run)),
+            ];
+            if let Some(seed) = pr.fail_seed {
+                obj.push(("fail_seed", Json::from(seed)));
+            }
+            lines.push(Json::obj(obj));
+        }
+        lines.push(Json::obj([
+            ("kind", Json::from("table1_summary")),
+            ("cell", Json::obj([("p", Json::from(p)), ("c", Json::from(c))])),
+            ("steps", Json::from(cell_steps)),
+            ("wall_ms", Json::from(wall_ms(cell_wall))),
+            ("measured_min_q", min_q.map_or(Json::Null, Json::from)),
+            ("paper_lower", Json::from(lower)),
+            ("paper_upper_shape", Json::from(shape.as_str())),
+        ]));
+    }
     println!();
-    println!("  measured-min-Q: smallest Q at which 60 adversary runs (M = 3, V = 1)");
+    println!("  measured-min-Q: smallest probed Q at which {TABLE1_SEEDS} adversary runs (M = 3, V = 1)");
     println!("  all (a) agree, (b) satisfy the Lemma 3 access-failure bound, and");
     println!("  (c) retain a deciding level. The series tracks the paper's");
     println!("  c(2P+1−C) shape: it shrinks as C grows toward 2P.");
     println!();
-}
-
-fn measured_min_q(p: u32, c: u32) -> String {
-    let m = 3;
-    'q: for q in 1..=128u32 {
-        for seed in 0..60u64 {
-            let mut k = fig7_kernel(p, c, m, 1, q, LocalMode::Modeled);
-            let mut mp = MaxPreempt::new(seed);
-            let mut sr = SeededRandom::new(seed);
-            let d: &mut dyn Decider = if seed % 2 == 0 { &mut mp } else { &mut sr };
-            k.run(d, 50_000_000);
-            if !k.all_finished() {
-                continue 'q;
-            }
-            let n = k.n_processes() as u32;
-            let mut outs: Vec<Option<u64>> = (0..n).map(|x| k.output(ProcessId(x))).collect();
-            outs.sort_unstable();
-            outs.dedup();
-            if outs.len() != 1 || outs[0].is_none() {
-                continue 'q;
-            }
-            if !lemma3_bound_holds(&k.mem) || summarize(&k.mem).clean_levels.is_empty() {
-                continue 'q;
-            }
-        }
-        return q.to_string();
-    }
-    ">128".into()
+    lines
 }
 
 fn obs() {
@@ -337,12 +509,13 @@ fn obs() {
     //    same-priority preemption vanishes (the Theorem 1 hypothesis).
     println!("  Fig. 3 consensus, 4 same-priority processes, seeded-random schedule:");
     for q in [4u32, MIN_QUANTUM] {
-        let mut k = Kernel::new(UniConsensusMem::default(), SystemSpec::hybrid(q));
+        let mut s = Scenario::new(UniConsensusMem::default(), SystemSpec::hybrid(q))
+            .step_budget(1_000_000);
         for v in 1..=4u64 {
-            k.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(v)));
+            s.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(v)));
         }
-        k.run(&mut SeededRandom::new(7), 1_000_000);
-        let c = k.counters();
+        let r = s.run_seeded(7);
+        let c = &r.counters;
         println!(
             "    Q = {q}: same-prio preemptions = {}, mid-invocation expiries = {}, statements/op = {:.1}",
             c.same_prio_preemptions,
@@ -355,37 +528,36 @@ fn obs() {
     //    universal-construction counter under an adversarial schedule.
     let n = 4u32;
     let per = 4u32;
-    let mk = || {
-        let mut k = Kernel::new(
-            UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
-            SystemSpec::hybrid(8).with_adversarial_alignment().with_history(),
+    let mut scen = Scenario::new(
+        UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
+        SystemSpec::hybrid(8).with_adversarial_alignment().with_history(),
+    )
+    .with_obs()
+    .step_budget(1_000_000);
+    for pid in 0..n {
+        scen.add_process(
+            ProcessorId(0),
+            Priority(1 + pid % 2),
+            Box::new(universal_machine(CounterSpec, pid, n, vec![1; per as usize])),
         );
-        for pid in 0..n {
-            k.add_process(
-                ProcessorId(0),
-                Priority(1 + pid % 2),
-                Box::new(universal_machine(CounterSpec, pid, n, vec![1; per as usize])),
-            );
-        }
-        k
-    };
-    let mut k = mk();
-    k.attach_obs();
-    k.run(&mut SeededRandom::new(42), 1_000_000);
+    }
+    let mut r = scen.run_seeded(42);
     println!("\n  universal counter, N = {n}, {per} increments each, Q = 8, seed 42:");
-    println!("{}", indent(&k.counters().to_string(), "    "));
+    println!("{}", indent(&r.counters.to_string(), "    "));
     println!("  algorithm counters (universal construction, Fig. 7 helping):");
-    println!("{}", indent(&k.mem.counters.to_string(), "    "));
+    println!("{}", indent(&r.mem().counters.to_string(), "    "));
 
-    // 3. The same run captured and replayed from its decision script.
-    let trace = k.take_obs().expect("obs attached");
-    let mut r = mk();
-    r.run(&mut trace.scripted(), 1_000_000);
+    // 3. The same run captured and replayed from its decision script — a
+    //    fresh kernel from the same scenario is the replay precondition.
+    let trace = r.take_trace().expect("obs attached");
+    let mut k = scen.kernel();
+    let steps = k.run(&mut trace.scripted(), scen.budget());
+    let replay = RunResult::from_kernel(k, steps, Duration::ZERO);
     println!(
         "  capture → replay: {} recorded events; history identical = {}, memory identical = {}",
         trace.events.len(),
-        r.history() == k.history(),
-        r.mem == k.mem,
+        replay.history() == r.history(),
+        replay.mem() == r.mem(),
     );
     println!();
 }
@@ -400,18 +572,19 @@ fn poly_vs_exp() {
     println!("    N  |  Fig. 7 steps  objects |  baseline steps  objects");
     for n in [2u32, 4, 6, 8, 10] {
         // Fig. 7 on one processor (C = 1, K = 0) with M = N processes.
-        let mut k7 = fig7_kernel(1, 1, n, 1, 64, LocalMode::Modeled);
-        let l = k7.mem.layout.l;
-        k7.run(&mut RoundRobin::new(), 100_000_000);
-        let s7 = (0..n).map(|p| k7.stats(ProcessId(p)).own_steps).max().unwrap();
-        let o7 = l; // one consensus object per level
+        let r7 = fig7_scenario(1, 1, n, 1, 64, LocalMode::Modeled)
+            .step_budget(100_000_000)
+            .run_fair();
+        let s7 = r7.max_own_steps();
+        let o7 = r7.mem().layout.l; // one consensus object per level
 
-        let mut ke = Kernel::new(
+        let mut se = Scenario::new(
             hybrid_wf::baseline::exponential::ExpMem::new(n),
             SystemSpec::hybrid(4),
-        );
+        )
+        .step_budget(500_000_000);
         for pid in 0..n {
-            ke.add_process(
+            se.add_process(
                 ProcessorId(0),
                 Priority(pid + 1),
                 Box::new(hybrid_wf::baseline::exponential::decide_machine(
@@ -420,10 +593,10 @@ fn poly_vs_exp() {
                 )),
             );
         }
-        ke.run(&mut RoundRobin::new(), 500_000_000);
-        let se = (0..n).map(|p| ke.stats(ProcessId(p)).own_steps).max().unwrap();
-        let oe = ke.mem.objects();
-        println!("   {n:>2}  |  {s7:>12}  {o7:>7} |  {se:>14}  {oe:>7}");
+        let re = se.run_fair();
+        let steps_e = re.max_own_steps();
+        let oe = re.mem().objects();
+        println!("   {n:>2}  |  {s7:>12}  {o7:>7} |  {steps_e:>14}  {oe:>7}");
     }
     println!();
 }

@@ -15,6 +15,7 @@ use sched_sim::decision::{Choice, Decider, SeededRandom};
 use sched_sim::rng::SplitMix64;
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::{Kernel, SystemSpec};
+use sched_sim::scenario::Scenario;
 
 /// A preemption-maximizing decider: randomizes processor interleaving,
 /// rotates quantum holders aggressively (guaranteeing a same-priority
@@ -75,16 +76,18 @@ pub struct ViolationReport {
     pub outcome: String,
 }
 
-/// The standard Fig. 7 workload for threshold experiments: `M` processes
-/// per processor across `V` priority levels, distinct inputs.
-pub fn fig7_kernel(
+/// The standard Fig. 7 workload for threshold experiments, as a reusable
+/// [`Scenario`]: `M` processes per processor across `V` priority levels,
+/// distinct inputs. Run it repeatedly (one decider per seed) or hand it to
+/// `sched_sim::sweep::run_cells` for a parallel grid.
+pub fn fig7_scenario(
     p: u32,
     c: u32,
     m: u32,
     v: u32,
     q: u32,
     mode: LocalMode,
-) -> Kernel<MultiMem> {
+) -> Scenario<MultiMem> {
     let mut prio = Vec::new();
     let mut cpus = Vec::new();
     for cpu in 0..p {
@@ -96,16 +99,41 @@ pub fn fig7_kernel(
     let layout = PortLayout::new(p, c, m);
     let mem = MultiMem::new(layout, v, &prio, &cpus);
     let spec = SystemSpec::hybrid(q).with_adversarial_alignment();
-    let mut k = Kernel::new(mem, spec);
+    let mut s = Scenario::new(mem, spec).step_budget(50_000_000);
     for (pid, (&cpu, &pr)) in cpus.iter().zip(prio.iter()).enumerate() {
         let input: Val = 10 + pid as Val;
-        k.add_process(
+        s.add_process(
             ProcessorId(cpu),
             Priority(pr),
             Box::new(decide_machine(pid as u32, cpu, pr, input, mode)),
         );
     }
-    k
+    s
+}
+
+/// The Fig. 7 workload as a live [`Kernel`] — [`fig7_scenario`] is the
+/// front door; this remains for callers that drive the kernel directly.
+pub fn fig7_kernel(
+    p: u32,
+    c: u32,
+    m: u32,
+    v: u32,
+    q: u32,
+    mode: LocalMode,
+) -> Kernel<MultiMem> {
+    fig7_scenario(p, c, m, v, q, mode).into_kernel()
+}
+
+/// The standard adversary pairing for seed sweeps: even seeds get the
+/// holder-rotating [`MaxPreempt`] (maximizes quantum preemptions), odd
+/// seeds uniformly random [`SeededRandom`] (finds irregular placements the
+/// rotator's strict alternation misses).
+pub fn adversary_for_seed(seed: u64) -> Box<dyn Decider> {
+    if seed % 2 == 0 {
+        Box::new(MaxPreempt::new(seed))
+    } else {
+        Box::new(SeededRandom::new(seed))
+    }
 }
 
 /// Runs the adversary against Fig. 7 for `seeds` seeds at quantum `q`;
@@ -119,32 +147,19 @@ pub fn find_violation(
     mode: LocalMode,
     seeds: u64,
 ) -> Option<ViolationReport> {
+    let scenario = fig7_scenario(p, c, m, v, q, mode);
     for seed in 0..seeds {
-        let mut k = fig7_kernel(p, c, m, v, q, mode);
-        // Alternate adversary styles: holder-rotating (maximizes quantum
-        // preemptions) and uniformly random (finds irregular placements the
-        // rotator's strict alternation misses).
-        let mut mp;
-        let mut sr;
-        let d: &mut dyn Decider = if seed % 2 == 0 {
-            mp = MaxPreempt::new(seed);
-            &mut mp
-        } else {
-            sr = SeededRandom::new(seed);
-            &mut sr
-        };
-        k.run(d, 50_000_000);
-        if !k.all_finished() {
+        let r = scenario.run(&mut *adversary_for_seed(seed));
+        if !r.all_finished {
             return Some(ViolationReport {
                 seed,
                 outcome: "run did not terminate within the step budget".into(),
             });
         }
-        let n = k.n_processes();
         let mut outs = Vec::new();
-        for pid in 0..n as u32 {
-            match k.output(ProcessId(pid)) {
-                Some(v) => outs.push(v),
+        for (pid, out) in r.outputs.iter().enumerate() {
+            match out {
+                Some(v) => outs.push(*v),
                 None => {
                     return Some(ViolationReport {
                         seed,

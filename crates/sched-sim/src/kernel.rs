@@ -205,29 +205,35 @@ pub enum StepAttempt {
 
 /// A multiprogrammed system simulation.
 ///
-/// `M` is the shared memory type. Construct with [`Kernel::new`], add
-/// processes with [`Kernel::add_process`], then drive with
-/// [`Kernel::step`] / [`Kernel::run`].
+/// `M` is the shared memory type. The usual front door is a
+/// [`crate::scenario::Scenario`], which captures the setup declaratively
+/// and builds kernels on demand; construct a `Kernel` directly (with
+/// [`Kernel::new`] + [`Kernel::add_process`], then [`Kernel::step`] /
+/// [`Kernel::run`]) when you need mid-run choreography — releases, manual
+/// stepping, the exhaustive explorer.
 ///
 /// # Examples
 ///
 /// ```
-/// use sched_sim::kernel::{Kernel, SystemSpec};
+/// use sched_sim::kernel::SystemSpec;
 /// use sched_sim::machine::{FnMachine, StepOutcome};
 /// use sched_sim::ids::{ProcessorId, Priority};
-/// use sched_sim::decision::RoundRobin;
+/// use sched_sim::scenario::Scenario;
 ///
-/// let mut k = Kernel::new(0u64, SystemSpec::hybrid(4));
-/// k.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
-///     |mem: &mut u64, calls| {
-///         *mem += 1;
-///         if calls == 2 { (StepOutcome::Finished, Some(*mem)) }
-///         else { (StepOutcome::Continue, None) }
-///     })));
-/// let mut d = RoundRobin::new();
-/// let steps = k.run(&mut d, 100);
-/// assert_eq!(steps, 3);
-/// assert_eq!(k.mem, 3);
+/// let s = Scenario::new(0u64, SystemSpec::hybrid(4))
+///     .process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+///         |mem: &mut u64, calls| {
+///             *mem += 1;
+///             if calls == 2 { (StepOutcome::Finished, Some(*mem)) }
+///             else { (StepOutcome::Continue, None) }
+///         })));
+/// // Declarative: run the scenario…
+/// let r = s.run_fair();
+/// assert_eq!((r.steps, *r.mem()), (3, 3));
+/// // …or take the underlying kernel and drive it by hand.
+/// let mut k = s.into_kernel();
+/// let steps = k.run(&mut sched_sim::RoundRobin::new(), 100);
+/// assert_eq!((steps, k.mem), (3, 3));
 /// ```
 pub struct Kernel<M> {
     /// The shared memory, openly accessible to oracles and constructors.

@@ -23,29 +23,35 @@
 //!   Figs. 1–2.
 //! * [`explore`] — exhaustive schedule enumeration (bounded model
 //!   checking) for small configurations.
+//! * [`scenario`] — the front door: a reusable description of a system
+//!   (spec, processes, memory, budget) that can be run to completion many
+//!   times, yielding a [`scenario::RunResult`].
+//! * [`sweep`] — fans independent runs over a pool of worker threads with
+//!   bit-identical parallel/serial output; [`report`] publishes sweep
+//!   results as line-oriented JSON.
 //!
 //! # Quick example
 //!
 //! Two equal-priority processes sharing one processor with quantum 2:
 //!
 //! ```
-//! use sched_sim::decision::RoundRobin;
 //! use sched_sim::ids::{ProcessorId, Priority};
-//! use sched_sim::kernel::{Kernel, SystemSpec};
+//! use sched_sim::kernel::SystemSpec;
 //! use sched_sim::machine::{FnMachine, StepOutcome};
+//! use sched_sim::scenario::Scenario;
 //!
-//! let mut k = Kernel::new(Vec::<u64>::new(), SystemSpec::hybrid(2));
+//! let mut s = Scenario::new(Vec::<u64>::new(), SystemSpec::hybrid(2));
 //! for tag in [1u64, 2] {
-//!     k.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+//!     s.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
 //!         move |mem: &mut Vec<u64>, calls| {
 //!             mem.push(tag);
 //!             if calls == 3 { (StepOutcome::Finished, None) }
 //!             else { (StepOutcome::Continue, None) }
 //!         })));
 //! }
-//! k.run(&mut RoundRobin::new(), 100);
+//! let r = s.run_fair();
 //! // Quantum windows of exactly two statements alternate:
-//! assert_eq!(k.mem, vec![1, 1, 2, 2, 1, 1, 2, 2]);
+//! assert_eq!(*r.mem(), vec![1, 1, 2, 2, 1, 1, 2, 2]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,10 +65,15 @@ pub mod kernel;
 pub mod machine;
 pub mod obs;
 pub mod program;
+pub mod report;
 pub mod rng;
+pub mod scenario;
+pub mod sweep;
 pub mod trace;
 
 pub use decision::{Decider, RoundRobin, Scripted, SeededRandom};
 pub use ids::{ProcessId, ProcessorId, Priority};
 pub use kernel::{Kernel, SystemSpec};
 pub use machine::{StepCtx, StepMachine, StepOutcome};
+pub use scenario::{RunResult, Scenario};
+pub use sweep::{cross, default_jobs, run_cells};

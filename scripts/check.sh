@@ -14,4 +14,13 @@ cargo test -q
 echo "== cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
+echo "== smoke sweep (experiments --thm1 --jobs 2) + artifact validation =="
+# A tiny parallel sweep in a scratch dir (so the committed BENCH_*.json
+# artifacts, which cover the full grids, are not clobbered), then
+# schema-check the emitted JSON with the in-tree validator.
+smoke_dir="target/smoke-sweep"
+rm -rf "$smoke_dir" && mkdir -p "$smoke_dir"
+(cd "$smoke_dir" && ../../target/release/experiments --thm1 --jobs 2 > /dev/null)
+target/release/experiments --validate "$smoke_dir/BENCH_sweeps.json"
+
 echo "All checks passed."

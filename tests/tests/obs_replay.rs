@@ -3,32 +3,38 @@
 //! script, and a failing-oracle trace artifact dumped by
 //! [`hybrid_wf::oracle::check_linearizable_traced`] reproduces the failure
 //! after a disk round trip.
+//!
+//! The capture/replay precondition — "build the system identically on
+//! every attempt" — is exactly what a [`Scenario`] provides: capture with
+//! [`Scenario::run_seeded`], replay against a fresh [`Scenario::kernel`].
 
 use hybrid_wf::multi::consensus::LocalMode;
 use hybrid_wf::oracle::{check_linearizable, check_linearizable_traced, SeqSpec, TimedOp};
 use hybrid_wf::universal::{op_machine, CounterSpec, UniversalMem};
-use lowerbound::adversary::{fig7_kernel, MaxPreempt};
+use lowerbound::adversary::{fig7_scenario, MaxPreempt};
 use sched_sim::machine::{FnMachine, StepOutcome};
 use sched_sim::obs::Trace;
 use sched_sim::rng::SplitMix64;
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 use wfmem::Val;
 
-/// A universal-construction counter kernel, built identically on every
-/// call so a captured run can be replayed against a fresh instance.
-fn counter_kernel(n: u32, per: u32, q: u32) -> Kernel<UniversalMem<CounterSpec>> {
-    let mut k = Kernel::new(
+/// A universal-construction counter scenario; every kernel built from it
+/// is identical, so a captured run can be replayed against a fresh one.
+fn counter_scenario(n: u32, per: u32, q: u32) -> Scenario<UniversalMem<CounterSpec>> {
+    let mut s = Scenario::new(
         UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
         SystemSpec::hybrid(q).with_adversarial_alignment().with_history(),
-    );
+    )
+    .with_obs()
+    .step_budget(1_000_000);
     for pid in 0..n {
-        k.add_process(
+        s.add_process(
             ProcessorId(0),
             Priority(1 + pid % 2),
             Box::new(op_machine(CounterSpec, pid, n, vec![1; per as usize])),
         );
     }
-    k
+    s
 }
 
 /// Capture → replay across many random seeds and shapes: the replayed
@@ -42,21 +48,20 @@ fn seeded_random_runs_replay_bit_identical() {
         let per = gen.range_u32(1, 4);
         let q = gen.range_u32(1, 16);
 
-        let mut k = counter_kernel(n, per, q);
-        k.attach_obs();
-        k.run(&mut SeededRandom::new(seed), 1_000_000);
-        assert!(k.all_finished(), "case {case}: seed {seed} did not finish");
-        let trace = k.take_obs().expect("obs attached");
+        let s = counter_scenario(n, per, q);
+        let mut captured = s.run_seeded(seed);
+        assert!(captured.all_finished, "case {case}: seed {seed} did not finish");
+        let trace = captured.take_trace().expect("obs attached");
 
-        let mut r = counter_kernel(n, per, q);
-        r.run(&mut trace.scripted(), 1_000_000);
+        let mut r = s.kernel();
+        r.run(&mut trace.scripted(), s.budget());
         assert_eq!(
             r.history(),
-            k.history(),
+            captured.history(),
             "case {case}: seed={seed} n={n} per={per} q={q}"
         );
-        assert_eq!(r.mem, k.mem, "case {case}: final memory diverged");
-        assert_eq!(r.counters(), k.counters(), "case {case}: counters diverged");
+        assert_eq!(&r.mem, captured.mem(), "case {case}: final memory diverged");
+        assert_eq!(r.counters(), captured.counters, "case {case}: counters diverged");
     }
 }
 
@@ -64,20 +69,19 @@ fn seeded_random_runs_replay_bit_identical() {
 /// still replays to the identical history.
 #[test]
 fn replay_survives_text_round_trip() {
-    let mut k = counter_kernel(3, 2, 4);
-    k.attach_obs();
-    k.run(&mut SeededRandom::new(99), 1_000_000);
-    assert!(k.all_finished());
-    let trace = k.take_obs().unwrap();
+    let s = counter_scenario(3, 2, 4);
+    let mut captured = s.run_seeded(99);
+    assert!(captured.all_finished);
+    let trace = captured.take_trace().unwrap();
 
     let text = trace.to_text();
     let reloaded = Trace::from_text(&text).expect("parses");
     assert_eq!(reloaded, trace);
 
-    let mut r = counter_kernel(3, 2, 4);
-    r.run(&mut reloaded.scripted(), 1_000_000);
-    assert_eq!(r.history(), k.history());
-    assert_eq!(r.mem, k.mem);
+    let mut r = s.kernel();
+    r.run(&mut reloaded.scripted(), s.budget());
+    assert_eq!(r.history(), captured.history());
+    assert_eq!(&r.mem, captured.mem());
 }
 
 /// Adversary runs are replayable too: the preemption-maximizing
@@ -86,26 +90,17 @@ fn replay_survives_text_round_trip() {
 #[test]
 fn adversary_run_replays_bit_identical() {
     for seed in [0u64, 3, 11] {
-        let mk = || {
-            let mut k = fig7_kernel(2, 2, 3, 1, 8, LocalMode::Modeled);
-            k.attach_obs();
-            k
-        };
-        let mut k = mk();
-        k.run(&mut MaxPreempt::new(seed), 50_000_000);
-        assert!(k.all_finished(), "seed {seed}");
-        let trace = k.take_obs().unwrap();
+        let s = fig7_scenario(2, 2, 3, 1, 8, LocalMode::Modeled).with_obs();
+        let mut captured = s.run(&mut MaxPreempt::new(seed));
+        assert!(captured.all_finished, "seed {seed}");
+        let trace = captured.take_trace().unwrap();
 
-        let mut r = mk();
-        r.run(&mut trace.scripted(), 50_000_000);
-        assert!(r.all_finished(), "seed {seed} replay");
-        let outs = |k: &Kernel<_>| {
-            (0..k.n_processes() as u32)
-                .map(|p| k.output(ProcessId(p)))
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(outs(&r), outs(&k), "seed {seed}");
-        assert_eq!(r.counters(), k.counters(), "seed {seed}");
+        let mut r = s.kernel();
+        let steps = r.run(&mut trace.scripted(), s.budget());
+        let replay = sched_sim::RunResult::from_kernel(r, steps, std::time::Duration::ZERO);
+        assert!(replay.all_finished, "seed {seed} replay");
+        assert_eq!(replay.outputs, captured.outputs, "seed {seed}");
+        assert_eq!(replay.counters, captured.counters, "seed {seed}");
     }
 }
 
@@ -151,22 +146,23 @@ fn racy_fai_machine(me: usize, rounds: u32) -> Box<dyn sched_sim::StepMachine<Ra
     }))
 }
 
-fn racy_kernel() -> Kernel<RacyMem> {
+fn racy_scenario() -> Scenario<RacyMem> {
     // Q = 1: every window is a single statement, so the read/write pair is
     // always separable.
-    let mut k = Kernel::new(
+    let mut s = Scenario::new(
         (0u64, vec![0u64; 2]),
         SystemSpec::hybrid(1).with_adversarial_alignment().with_history(),
-    );
+    )
+    .with_obs()
+    .step_budget(10_000);
     for me in 0..2 {
-        k.add_process(ProcessorId(0), Priority(1), racy_fai_machine(me, 2));
+        s.add_process(ProcessorId(0), Priority(1), racy_fai_machine(me, 2));
     }
-    k
+    s
 }
 
-fn timed_fai_ops(k: &Kernel<RacyMem>) -> Vec<TimedOp<()>> {
-    k.ops()
-        .iter()
+fn timed_fai_ops(ops: &[sched_sim::kernel::OpRecord]) -> Vec<TimedOp<()>> {
+    ops.iter()
         .map(|r| TimedOp { start: r.start, end: r.t, op: (), result: r.output.unwrap() })
         .collect()
 }
@@ -176,26 +172,26 @@ fn timed_fai_ops(k: &Kernel<RacyMem>) -> Vec<TimedOp<()>> {
 /// history — the debugging loop the observability layer exists for.
 #[test]
 fn dumped_failing_oracle_trace_reproduces_failure() {
+    let s = racy_scenario();
     // Find a seed whose schedule loses an update (Q = 1 makes this easy).
     let mut failing = None;
     for seed in 0..100u64 {
-        let mut k = racy_kernel();
-        k.attach_obs();
-        k.run(&mut SeededRandom::new(seed), 10_000);
-        assert!(k.all_finished(), "seed {seed}");
-        let trace = k.take_obs().unwrap();
+        let mut captured = s.run_seeded(seed);
+        assert!(captured.all_finished, "seed {seed}");
+        let trace = captured.take_trace().unwrap();
         let err = check_linearizable_traced(
             &FaiSpec,
-            &timed_fai_ops(&k),
+            &timed_fai_ops(captured.ops()),
             &trace,
             "racy-fai-regression",
         );
         if let Err(e) = err {
-            failing = Some((seed, k, e));
+            failing = Some((seed, captured, e));
             break;
         }
     }
-    let (seed, k, err) = failing.expect("Q = 1 must admit a lost update within 100 seeds");
+    let (seed, captured, err) =
+        failing.expect("Q = 1 must admit a lost update within 100 seeds");
 
     // The error carries the artifact path; the artifact round-trips.
     let path = err
@@ -207,13 +203,13 @@ fn dumped_failing_oracle_trace_reproduces_failure() {
 
     // Replaying the artifact reproduces the same failing history, and the
     // oracle rejects it again.
-    let mut r = racy_kernel();
-    r.run(&mut reloaded.scripted(), 10_000);
+    let mut r = s.kernel();
+    r.run(&mut reloaded.scripted(), s.budget());
     assert!(r.all_finished());
-    assert_eq!(r.history(), k.history(), "seed {seed}: replay diverged");
-    assert_eq!(r.mem, k.mem);
+    assert_eq!(r.history(), captured.history(), "seed {seed}: replay diverged");
+    assert_eq!(&r.mem, captured.mem());
     assert!(
-        check_linearizable(&FaiSpec, &timed_fai_ops(&r)).is_err(),
+        check_linearizable(&FaiSpec, &timed_fai_ops(r.ops())).is_err(),
         "seed {seed}: replayed run must still violate linearizability"
     );
 }

@@ -8,7 +8,7 @@ use hybrid_wf::oracle::{check_linearizable, CasRegOp, CasRegisterSpec, TimedOp};
 use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem};
 use sched_sim::history::check_well_formed;
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
 const INIT: u64 = 100;
 
@@ -24,23 +24,23 @@ fn scheduler_matrix() -> Vec<(&'static str, SystemSpec, Vec<u32>)> {
 #[test]
 fn fig3_consensus_correct_under_all_schedulers() {
     for (label, spec, prios) in scheduler_matrix() {
+        let mut s = Scenario::new(UniConsensusMem::default(), spec).step_budget(100_000);
+        for (i, &pr) in prios.iter().enumerate() {
+            s.add_process(
+                ProcessorId(0),
+                Priority(pr),
+                Box::new(decide_machine(i as u64 + 1)),
+            );
+        }
         for seed in 0..25 {
-            let mut k = Kernel::new(UniConsensusMem::default(), spec);
-            for (i, &pr) in prios.iter().enumerate() {
-                k.add_process(
-                    ProcessorId(0),
-                    Priority(pr),
-                    Box::new(decide_machine(i as u64 + 1)),
-                );
-            }
-            k.run(&mut SeededRandom::new(seed), 100_000);
-            assert!(k.all_finished(), "{label} seed {seed}");
-            let first = k.output(ProcessId(0)).unwrap();
-            for p in 0..prios.len() as u32 {
-                assert_eq!(k.output(ProcessId(p)), Some(first), "{label} seed {seed}");
+            let r = s.run_seeded(seed);
+            assert!(r.all_finished, "{label} seed {seed}");
+            let first = r.outputs[0].unwrap();
+            for (p, out) in r.outputs.iter().enumerate() {
+                assert_eq!(*out, Some(first), "{label} seed {seed} p{p}");
             }
             assert!((1..=4).contains(&first), "{label}: invalid {first}");
-            check_well_formed(k.history())
+            check_well_formed(r.history())
                 .unwrap_or_else(|v| panic!("{label} seed {seed}: {v}"));
         }
     }
@@ -56,34 +56,34 @@ fn fig5_cas_linearizable_under_all_schedulers() {
     ];
     for (label, spec, prios) in scheduler_matrix() {
         let v = *prios.iter().max().unwrap();
+        let n = prios.len() as u32;
+        let mut s = Scenario::new(CasMem::new(v, &prios, INIT), spec).step_budget(1_000_000);
+        for (pid, ops) in plans.iter().enumerate() {
+            s.add_process(
+                ProcessorId(0),
+                Priority(prios[pid]),
+                Box::new(op_machine(pid as u32, prios[pid], n, v, ops.clone())),
+            );
+        }
         for seed in 0..20 {
-            let n = prios.len() as u32;
-            let mut k = Kernel::new(CasMem::new(v, &prios, INIT), spec);
-            for (pid, ops) in plans.iter().enumerate() {
-                k.add_process(
-                    ProcessorId(0),
-                    Priority(prios[pid]),
-                    Box::new(op_machine(pid as u32, prios[pid], n, v, ops.clone())),
-                );
-            }
-            k.run(&mut SeededRandom::new(seed), 1_000_000);
-            assert!(k.all_finished(), "{label} seed {seed}");
-            let timed: Vec<TimedOp<CasRegOp>> = k
+            let r = s.run_seeded(seed);
+            assert!(r.all_finished, "{label} seed {seed}");
+            let timed: Vec<TimedOp<CasRegOp>> = r
                 .ops()
                 .iter()
-                .map(|r| TimedOp {
-                    start: r.start,
-                    end: r.t,
-                    op: match plans[r.pid.index()][r.inv_index as usize] {
+                .map(|rec| TimedOp {
+                    start: rec.start,
+                    end: rec.t,
+                    op: match plans[rec.pid.index()][rec.inv_index as usize] {
                         CasOp::Cas { old, new } => CasRegOp::Cas { old, new },
                         CasOp::Read => CasRegOp::Read,
                     },
-                    result: r.output.unwrap(),
+                    result: rec.output.unwrap(),
                 })
                 .collect();
             check_linearizable(&CasRegisterSpec { init: INIT }, &timed)
                 .unwrap_or_else(|e| panic!("{label} seed {seed}: {e}"));
-            check_well_formed(k.history())
+            check_well_formed(r.history())
                 .unwrap_or_else(|v| panic!("{label} seed {seed}: {v}"));
         }
     }

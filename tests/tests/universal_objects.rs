@@ -9,7 +9,7 @@
 use hybrid_wf::oracle::{check_linearizable_traced, QueueOp, QueueSpec, TimedOp};
 use hybrid_wf::universal::{op_machine, replay_final_state, CounterSpec, UniversalMem};
 use sched_sim::rng::SplitMix64;
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
 fn run_queue(
     seed: u64,
@@ -18,35 +18,36 @@ fn run_queue(
 ) -> Result<(), String> {
     let n = plans.len() as u32;
     let cap = 4 * plans.iter().map(|(_, o)| o.len()).sum::<usize>() + 4;
-    let mut k = Kernel::new(
+    let mut s = Scenario::new(
         UniversalMem::<QueueSpec>::new(n, cap),
         SystemSpec::hybrid(q).with_adversarial_alignment(),
-    );
+    )
+    // Capture the run so a failing check leaves a replayable artifact
+    // behind (see crates/core/src/oracle.rs and EXPERIMENTS.md).
+    .with_obs()
+    .step_budget(2_000_000);
     for (pid, (prio, ops)) in plans.iter().enumerate() {
-        k.add_process(
+        s.add_process(
             ProcessorId(0),
             Priority(*prio),
             Box::new(op_machine(QueueSpec, pid as u32, n, ops.clone())),
         );
     }
-    // Capture the run so a failing check leaves a replayable artifact
-    // behind (see crates/core/src/oracle.rs and EXPERIMENTS.md).
-    k.attach_obs();
-    k.run(&mut SeededRandom::new(seed), 2_000_000);
-    if !k.all_finished() {
+    let mut r = s.run_seeded(seed);
+    if !r.all_finished {
         return Err("did not finish".into());
     }
-    let timed: Vec<TimedOp<QueueOp>> = k
+    let timed: Vec<TimedOp<QueueOp>> = r
         .ops()
         .iter()
-        .map(|r| TimedOp {
-            start: r.start,
-            end: r.t,
-            op: plans[r.pid.index()].1[r.inv_index as usize],
-            result: r.output.unwrap(),
+        .map(|rec| TimedOp {
+            start: rec.start,
+            end: rec.t,
+            op: plans[rec.pid.index()].1[rec.inv_index as usize],
+            result: rec.output.unwrap(),
         })
         .collect();
-    let trace = k.take_obs().expect("obs attached");
+    let trace = r.take_trace().expect("obs attached");
     check_linearizable_traced(&QueueSpec, &timed, &trace, &format!("queue-seed{seed}-q{q}"))
 }
 
@@ -102,24 +103,24 @@ fn generated_counter_totals_exact() {
         let quantum = gen.range_u32(1, 32);
         let n = gen.range_u32(1, 5);
         let per = gen.range_u32(1, 5);
-        let mut k = Kernel::new(
+        let mut s = Scenario::new(
             UniversalMem::<CounterSpec>::new(n, 4 * (n * per) as usize + 4),
             SystemSpec::hybrid(quantum).with_adversarial_alignment(),
-        );
+        )
+        .step_budget(2_000_000);
         let mut total = 0u64;
         for pid in 0..n {
             let ops: Vec<u64> = (1..=u64::from(per)).collect();
             total += ops.iter().sum::<u64>();
-            k.add_process(
+            s.add_process(
                 ProcessorId(0),
                 Priority(1 + pid % 3),
                 Box::new(op_machine(CounterSpec, pid, n, ops)),
             );
         }
-        k.run(&mut SeededRandom::new(seed), 2_000_000);
+        let r = s.run_seeded(seed);
         let ctx = format!("case {case}: seed={seed} quantum={quantum} n={n} per={per}");
-        assert!(k.all_finished(), "not all finished — {ctx}");
-        assert_eq!(replay_final_state(&CounterSpec, &k.mem), total, "{ctx}");
-        let _ = k.output(ProcessId(0));
+        assert!(r.all_finished, "not all finished — {ctx}");
+        assert_eq!(replay_final_state(&CounterSpec, r.mem()), total, "{ctx}");
     }
 }
