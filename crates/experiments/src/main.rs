@@ -15,6 +15,11 @@
 //! * `--fig8`      — Fig. 8: the level/port layout
 //! * `--poly-vs-exp` — polynomial Fig. 7 vs exponential baseline
 //! * `--obs`       — observability: per-run counters + capture/replay demo
+//! * `--perf`      — throughput sweep (steps/sec) → `BENCH_perf.json`
+//!
+//! `--perf` accepts two modifiers: `--smoke` shrinks the workloads for CI,
+//! and `--perf-baseline FILE` compares the fresh rates against a committed
+//! `BENCH_perf.json`, exiting nonzero on a > 30% per-kind regression.
 //!
 //! Sweep-shaped experiments (`--table1 --thm1 --thm4 --failures`) run over
 //! the `sched_sim::sweep` worker pool; `--jobs N` sets the worker count
@@ -24,7 +29,7 @@
 //! `BENCH_sweeps.json` (the other sweeps). `--validate FILE` checks such
 //! an artifact against the cell schema and exits.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hybrid_wf::multi::consensus::LocalMode;
 use hybrid_wf::multi::failures::{lemma2_holds, lemma3_bound_holds, summarize};
@@ -34,7 +39,7 @@ use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use hybrid_wf::universal::{op_machine as universal_machine, CounterSpec, UniversalMem};
 use lowerbound::adversary::{adversary_for_seed, fig7_scenario};
 use lowerbound::fig6;
-use lowerbound::valency::bivalent_chain_depth;
+use lowerbound::valency::{bivalent_chain_depth, bivalent_chain_probe};
 use sched_sim::decision::RoundRobin;
 use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
@@ -73,8 +78,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|n| n.parse::<usize>().expect("--jobs needs an integer"))
         .unwrap_or_else(default_jobs);
-    let flags: Vec<&String> =
-        args.iter().filter(|a| a.starts_with("--") && *a != "--jobs").collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let perf_baseline = args
+        .iter()
+        .position(|a| a == "--perf-baseline")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--perf-baseline needs a file path");
+                std::process::exit(2);
+            })
+        });
+    let flags: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            a.starts_with("--") && *a != "--jobs" && *a != "--smoke" && *a != "--perf-baseline"
+        })
+        .collect();
     let all = flags.is_empty() || flags.iter().any(|a| *a == "--all");
     let want = |flag: &str| all || flags.iter().any(|a| *a == flag);
 
@@ -114,6 +133,15 @@ fn main() {
     }
     if want("--obs") {
         obs();
+    }
+    if want("--perf") {
+        let cells = perf(smoke);
+        write_artifact("BENCH_perf.json", &cells);
+        if let Some(base) = &perf_baseline {
+            if !perf_gate(&cells, base) {
+                std::process::exit(1);
+            }
+        }
     }
     if !sweeps.is_empty() {
         write_artifact("BENCH_sweeps.json", &sweeps);
@@ -565,6 +593,212 @@ fn obs() {
 /// Indents every line of a multi-line `Display` block for report nesting.
 fn indent(s: &str, pad: &str) -> String {
     s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+}
+
+/// Throughput sweep: simulated statements per second on the three hot
+/// workloads — the Fig. 3 exhaustive exploration (Lemma 1), the Fig. 10
+/// valency probe, and the Table 1 (P, C) × Q grid. `smoke` shrinks every
+/// workload for CI; rates stay comparable because the per-statement work is
+/// identical.
+fn perf(smoke: bool) -> Vec<Json> {
+    println!(
+        "── Throughput: simulated statements per second ({} workloads) ──",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mk = |q: u32, inputs: &[(u64, u32)]| {
+        let mut s = Scenario::new(
+            UniConsensusMem::default(),
+            SystemSpec::hybrid(q).with_adversarial_alignment(),
+        );
+        for &(v, pr) in inputs {
+            s.add_process(ProcessorId(0), Priority(pr), Box::new(decide_machine(v)));
+        }
+        s.into_kernel()
+    };
+    let mut lines = Vec::new();
+
+    // 1. Exhaustive schedule exploration (the Lemma 1 model-checking path).
+    let explore_reps = if smoke { 20u64 } else { 400 };
+    for (name, q, inputs) in [
+        ("fig3_q8_2p", MIN_QUANTUM, vec![(1u64, 1u32), (2, 1)]),
+        ("fig3_q8_3p", MIN_QUANTUM, vec![(1, 1), (2, 1), (3, 2)]),
+        ("fig3_q1_2p", 1, vec![(1, 1), (2, 1)]),
+    ] {
+        let k = mk(q, &inputs);
+        let mut steps = 0u64;
+        let mut terminals = 0u64;
+        let mut deduped = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..explore_reps {
+            let stats = explore(&k, ExploreBounds::default(), |_| Verdict::KeepGoing);
+            steps += stats.steps;
+            terminals = stats.terminals;
+            deduped = stats.deduped;
+        }
+        let wall = t0.elapsed();
+        println!(
+            "    explore {name}: {steps} statements in {:.1} ms → {:.0} steps/s",
+            wall.as_secs_f64() * 1e3,
+            rate(steps, wall)
+        );
+        lines.push(Json::obj([
+            ("kind", Json::from("perf_explore")),
+            ("cell", Json::obj([
+                ("workload", Json::from(name)),
+                ("reps", Json::from(explore_reps)),
+            ])),
+            ("steps", Json::from(steps)),
+            ("wall_ms", Json::from(wall_ms(wall))),
+            ("steps_per_sec", Json::from(rate(steps, wall))),
+            ("terminals", Json::from(terminals)),
+            ("deduped", Json::from(deduped)),
+        ]));
+    }
+
+    // 2. The Fig. 10 valency probe (bivalent chain search).
+    let valency_reps = if smoke { 1u64 } else { 10 };
+    for q in [1u32, 2, 4, 8] {
+        let k = mk(q, &[(1, 1), (2, 1)]);
+        let mut steps = 0u64;
+        let mut depth = 0u32;
+        let t0 = Instant::now();
+        for _ in 0..valency_reps {
+            let p = bivalent_chain_probe(&k, 16, ExploreBounds::default());
+            steps += p.steps;
+            depth = p.depth;
+        }
+        let wall = t0.elapsed();
+        println!(
+            "    valency Q={q}: {steps} statements in {:.1} ms → {:.0} steps/s (depth {depth})",
+            wall.as_secs_f64() * 1e3,
+            rate(steps, wall)
+        );
+        lines.push(Json::obj([
+            ("kind", Json::from("perf_valency")),
+            ("cell", Json::obj([("q", Json::from(q)), ("reps", Json::from(valency_reps))])),
+            ("steps", Json::from(steps)),
+            ("wall_ms", Json::from(wall_ms(wall))),
+            ("steps_per_sec", Json::from(rate(steps, wall))),
+            ("depth", Json::from(depth)),
+        ]));
+    }
+
+    // 3. The Table 1 grid: each (P, C) cell probes its Q axis serially, so
+    //    the full mode times the same 99-probe grid `--table1` runs.
+    let (pcs, qs): (Vec<(u32, u32)>, Vec<u32>) = if smoke {
+        (vec![(1, 1), (2, 3)], vec![1, 8])
+    } else {
+        let mut pcs = Vec::new();
+        for p in 1..=3u32 {
+            for c in p..=2 * p {
+                pcs.push((p, c));
+            }
+        }
+        (pcs, TABLE1_QS.to_vec())
+    };
+    for &(p, c) in &pcs {
+        let mut steps = 0u64;
+        let t0 = Instant::now();
+        for &q in &qs {
+            steps += probe_cell(p, c, q).steps;
+        }
+        let wall = t0.elapsed();
+        println!(
+            "    table1 P={p} C={c}: {steps} statements in {:.1} ms → {:.0} steps/s",
+            wall.as_secs_f64() * 1e3,
+            rate(steps, wall)
+        );
+        lines.push(Json::obj([
+            ("kind", Json::from("perf_table1")),
+            ("cell", Json::obj([
+                ("p", Json::from(p)),
+                ("c", Json::from(c)),
+                ("probes", Json::from(qs.len() as u64)),
+            ])),
+            ("steps", Json::from(steps)),
+            ("wall_ms", Json::from(wall_ms(wall))),
+            ("steps_per_sec", Json::from(rate(steps, wall))),
+        ]));
+    }
+    println!();
+    lines
+}
+
+/// Steps per second, rounded to a whole step.
+fn rate(steps: u64, wall: Duration) -> f64 {
+    let s = wall.as_secs_f64();
+    if s > 0.0 { (steps as f64 / s).round() } else { 0.0 }
+}
+
+/// Aggregates per-kind throughput (sum of steps over sum of wall time) from
+/// a slice of perf cells, preserving first-seen kind order.
+fn kind_rates(cells: &[Json]) -> Vec<(String, f64)> {
+    let mut kinds: Vec<(String, u64, f64)> = Vec::new();
+    for v in cells {
+        let kind = match v.get("kind") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let steps = match v.get("steps") {
+            Some(Json::Int(n)) => *n,
+            Some(Json::Float(f)) => *f as u64,
+            _ => continue,
+        };
+        let wall = match v.get("wall_ms") {
+            Some(Json::Int(n)) => *n as f64,
+            Some(Json::Float(f)) => *f,
+            _ => continue,
+        };
+        match kinds.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some(e) => {
+                e.1 += steps;
+                e.2 += wall;
+            }
+            None => kinds.push((kind, steps, wall)),
+        }
+    }
+    kinds
+        .into_iter()
+        .map(|(k, s, w)| (k, if w > 0.0 { s as f64 / (w / 1e3) } else { 0.0 }))
+        .collect()
+}
+
+/// Compares fresh perf cells against a committed `BENCH_perf.json`,
+/// per kind; returns `false` (→ nonzero exit) if any kind's aggregate
+/// steps/sec fell below 70% of the baseline.
+fn perf_gate(fresh: &[Json], base_path: &str) -> bool {
+    let text = match std::fs::read_to_string(base_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("  perf baseline {base_path}: {e}");
+            return false;
+        }
+    };
+    let base_cells: Vec<Json> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| Json::parse(l).ok())
+        .collect();
+    let base = kind_rates(&base_cells);
+    let now = kind_rates(fresh);
+    let mut ok = true;
+    println!("  perf gate vs {base_path} (fail under 0.70× baseline):");
+    for (kind, b) in &base {
+        let Some((_, n)) = now.iter().find(|(k, _)| k == kind) else {
+            eprintln!("    {kind}: missing from fresh run");
+            ok = false;
+            continue;
+        };
+        let ratio = if *b > 0.0 { n / b } else { f64::INFINITY };
+        let verdict = if ratio >= 0.70 { "ok" } else { "REGRESSED" };
+        println!("    {kind}: {n:.0} vs baseline {b:.0} steps/s ({ratio:.2}×) {verdict}");
+        if ratio < 0.70 {
+            ok = false;
+        }
+    }
+    println!();
+    ok
 }
 
 fn poly_vs_exp() {

@@ -23,13 +23,25 @@ use sched_sim::kernel::{Kernel, StepAttempt};
 /// *incorrect* one (the interesting case) process 0's view still defines a
 /// valid valence notion for the argument.
 pub fn reachable_decisions<M: Clone + Hash>(k: &Kernel<M>, bounds: ExploreBounds) -> BTreeSet<u64> {
+    let mut steps = 0u64;
+    decisions_counting(k, bounds, &mut steps)
+}
+
+/// [`reachable_decisions`] plus an accumulator for the statements the
+/// exploration executed, so probes can report throughput.
+fn decisions_counting<M: Clone + Hash>(
+    k: &Kernel<M>,
+    bounds: ExploreBounds,
+    steps: &mut u64,
+) -> BTreeSet<u64> {
     let mut out = BTreeSet::new();
-    explore(k, bounds, |k| {
+    let stats = explore(k, bounds, |k| {
         if let Some(v) = k.output(ProcessId(0)) {
             out.insert(v);
         }
         Verdict::KeepGoing
     });
+    *steps += stats.steps;
     out
 }
 
@@ -50,10 +62,32 @@ pub fn bivalent_chain_depth<M: Clone + Hash>(
     depth: u32,
     bounds: ExploreBounds,
 ) -> u32 {
+    bivalent_chain_probe(k, depth, bounds).depth
+}
+
+/// Result of a [`bivalent_chain_probe`]: the depth reached and the total
+/// simulated statements it took to establish it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainProbe {
+    /// Bivalent chain depth actually reached (see [`bivalent_chain_depth`]).
+    pub depth: u32,
+    /// Statements executed across every valence exploration and successor
+    /// probe — the work metric behind the Fig. 10 throughput numbers.
+    pub steps: u64,
+}
+
+/// [`bivalent_chain_depth`] with work accounting: identical search, but also
+/// reports how many statements the probe executed in total.
+pub fn bivalent_chain_probe<M: Clone + Hash>(
+    k: &Kernel<M>,
+    depth: u32,
+    bounds: ExploreBounds,
+) -> ChainProbe {
+    let mut steps = 0u64;
     let mut cur = k.clone();
     for d in 0..depth {
-        if !is_bivalent(&cur, bounds) {
-            return d;
+        if decisions_counting(&cur, bounds, &mut steps).len() < 2 {
+            return ChainProbe { depth: d, steps };
         }
         // Enumerate one-statement successors across all choices.
         let mut found = None;
@@ -62,7 +96,8 @@ pub fn bivalent_chain_depth<M: Clone + Hash>(
             let mut k2 = cur.clone();
             match k2.step_scripted(&script) {
                 StepAttempt::Stepped(_) => {
-                    if is_bivalent(&k2, bounds) {
+                    steps += 1;
+                    if decisions_counting(&k2, bounds, &mut steps).len() >= 2 {
                         found = Some(k2);
                         break;
                     }
@@ -79,10 +114,10 @@ pub fn bivalent_chain_depth<M: Clone + Hash>(
         }
         match found {
             Some(k2) => cur = k2,
-            None => return d,
+            None => return ChainProbe { depth: d, steps },
         }
     }
-    depth
+    ChainProbe { depth, steps }
 }
 
 #[cfg(test)]

@@ -14,9 +14,49 @@
 //! analysis of the lower-bound experiments (Fig. 10).
 
 use std::collections::HashSet;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use crate::kernel::{Kernel, StepAttempt};
+
+/// The dedup keys are already 64-bit state hashes, so the visited set
+/// stores them under an identity "hasher" instead of re-hashing through
+/// SipHash on every insert.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("the visited set holds only u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A per-step decision script: at most three decisions resolve in one step
+/// (cpu, holder, first-credit), so forks carry a fixed array, not a `Vec`.
+#[derive(Clone, Copy, Default)]
+struct Script {
+    buf: [usize; 3],
+    len: u8,
+}
+
+impl Script {
+    fn as_slice(&self) -> &[usize] {
+        &self.buf[..self.len as usize]
+    }
+
+    fn pushed(mut self, c: usize) -> Script {
+        self.buf[self.len as usize] = c;
+        self.len += 1;
+        self
+    }
+}
 
 /// Exploration statistics, returned by [`explore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,21 +112,25 @@ where
     F: FnMut(&Kernel<M>) -> Verdict,
 {
     let mut stats = ExploreStats::default();
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<u64, BuildHasherDefault<IdentityHasher>> = HashSet::default();
+    let mut root = kernel.clone();
+    root.track_state_hash();
+    seen.insert(root.state_hash());
     // DFS over (kernel-state, partial decision script for the next step).
-    let mut stack: Vec<(Kernel<M>, Vec<usize>, u64)> = vec![(kernel.clone(), Vec::new(), 0)];
-    seen.insert(kernel.state_hash());
+    let mut stack: Vec<(Kernel<M>, Script, u64)> = vec![(root, Script::default(), 0)];
 
-    while let Some((k, script, depth)) = stack.pop() {
+    while let Some((mut k, script, depth)) = stack.pop() {
         if stats.steps >= bounds.max_total_steps {
             stats.truncated = true;
             break;
         }
-        let mut k2 = k.clone();
-        match k2.step_scripted(&script) {
+        // Step the popped kernel in place: `step_scripted` aborts without
+        // mutation at a decision point, so `k` is reusable as the last
+        // fork there, and the successful-step path clones nothing.
+        match k.step_scripted(script.as_slice()) {
             StepAttempt::Quiescent => {
                 stats.terminals += 1;
-                if on_terminal(&k2) == Verdict::Stop {
+                if on_terminal(&k) == Verdict::Stop {
                     stats.truncated = true;
                     break;
                 }
@@ -97,18 +141,19 @@ where
                     stats.truncated = true;
                     continue;
                 }
-                if seen.insert(k2.state_hash()) {
-                    stack.push((k2, Vec::new(), depth + 1));
+                if seen.insert(k.state_hash()) {
+                    stack.push((k, Script::default(), depth + 1));
                 } else {
                     stats.deduped += 1;
                 }
             }
             StepAttempt::NeedChoice { arity, .. } => {
-                for c in 0..arity {
-                    let mut s = script.clone();
-                    s.push(c);
-                    stack.push((k.clone(), s, depth));
+                // Same push order as cloning every branch (choice 0 first,
+                // arity-1 on top), but only arity-1 clones.
+                for c in 0..arity - 1 {
+                    stack.push((k.clone(), script.pushed(c), depth));
                 }
+                stack.push((k, script.pushed(arity - 1), depth));
             }
         }
     }

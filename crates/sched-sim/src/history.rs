@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use crate::ids::{ProcessId, ProcessorId, Priority};
+use crate::sym::{Interner, Sym};
 
 /// What a recorded statement did to its process's invocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,12 +30,18 @@ pub enum StmtEffect {
 }
 
 /// One history entry.
+///
+/// The derived `==` on events compares statement labels as raw [`Sym`] ids,
+/// which is only meaningful between events of the *same* history (same
+/// symbol table). Whole-history comparison ([`History`]'s `==`) resolves
+/// labels through each side's table and is safe across histories.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// An atomic statement execution.
     Stmt {
-        /// The statement's display label (e.g. `"3: w := P[i]"`).
-        label: String,
+        /// The statement's display label (e.g. `"3: w := P[i]"`), interned
+        /// in the owning history's [`History::syms`] table.
+        label: Sym,
         /// Effect on the invocation.
         effect: StmtEffect,
         /// Output recorded at an invocation boundary, if any.
@@ -77,8 +84,10 @@ pub struct ProcInfo {
 ///
 /// Histories compare with `==`, which is what replay tests use to assert
 /// that a re-executed schedule is *bit-identical* to the captured one
-/// (see [`crate::obs`]).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// (see [`crate::obs`]). Statement labels are resolved through each side's
+/// symbol table during comparison, so two histories with identical events
+/// but differently-populated tables still compare equal.
+#[derive(Clone, Debug, Default)]
 pub struct History {
     /// The scheduling quantum `Q` the run was configured with.
     pub quantum: u32,
@@ -86,6 +95,8 @@ pub struct History {
     pub procs: Vec<ProcInfo>,
     /// The event sequence, in execution order.
     pub events: Vec<Event>,
+    /// Symbol table resolving the [`Sym`] labels of statement events.
+    pub syms: Interner,
 }
 
 impl History {
@@ -98,7 +109,47 @@ impl History {
     pub fn own_steps(&self, pid: ProcessId) -> u64 {
         self.stmts().filter(|e| e.pid == pid).count() as u64
     }
+
+    /// The display label of a statement event of *this* history (empty for
+    /// release events).
+    pub fn label_of(&self, e: &Event) -> &str {
+        match &e.kind {
+            EventKind::Stmt { label, .. } => self.syms.resolve(*label),
+            EventKind::Release => "",
+        }
+    }
 }
+
+/// Compares two events field by field, resolving statement labels through
+/// each side's symbol table.
+fn event_eq(a: &Event, b: &Event, a_syms: &Interner, b_syms: &Interner) -> bool {
+    if (a.t, a.pid, a.cpu, a.prio) != (b.t, b.pid, b.cpu, b.prio) {
+        return false;
+    }
+    match (&a.kind, &b.kind) {
+        (
+            EventKind::Stmt { label: la, effect: ea, output: oa },
+            EventKind::Stmt { label: lb, effect: eb, output: ob },
+        ) => ea == eb && oa == ob && a_syms.resolve(*la) == b_syms.resolve(*lb),
+        (EventKind::Release, EventKind::Release) => true,
+        _ => false,
+    }
+}
+
+impl PartialEq for History {
+    fn eq(&self, other: &Self) -> bool {
+        self.quantum == other.quantum
+            && self.procs == other.procs
+            && self.events.len() == other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(&other.events)
+                .all(|(a, b)| event_eq(a, b, &self.syms, &other.syms))
+    }
+}
+
+impl Eq for History {}
 
 /// A violation of the well-formedness condition found by
 /// [`check_well_formed`].
@@ -280,24 +331,24 @@ mod tests {
             pid: ProcessId(pid),
             cpu: ProcessorId(cpu),
             prio: Priority(prio),
-            kind: EventKind::Stmt { label: String::new(), effect, output: None },
+            kind: EventKind::Stmt { label: Sym::EMPTY, effect, output: None },
         }
+    }
+
+    fn hist(quantum: u32, procs: Vec<ProcInfo>, events: Vec<Event>) -> History {
+        History { quantum, procs, events, syms: Interner::new() }
     }
 
     #[test]
     fn empty_history_is_well_formed() {
-        let h = History { quantum: 4, procs: vec![], events: vec![] };
+        let h = hist(4, vec![], vec![]);
         assert_eq!(check_well_formed(&h), Ok(()));
     }
 
     #[test]
     fn detects_priority_inversion() {
         // p1 has priority 2 and is ready, yet p0 (priority 1) executes.
-        let h = History {
-            quantum: 4,
-            procs: vec![info(0, 0, 1), info(1, 0, 2)],
-            events: vec![stmt(0, 0, 0, 1, StmtEffect::Continue)],
-        };
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 2)], vec![stmt(0, 0, 0, 1, StmtEffect::Continue)]);
         match check_well_formed(&h) {
             Err(Violation::PriorityInversion { running, ready_higher, .. }) => {
                 assert_eq!(running, ProcessId(0));
@@ -311,11 +362,7 @@ mod tests {
     fn held_higher_priority_process_is_not_ready() {
         let mut hi = info(1, 0, 2);
         hi.held = true;
-        let h = History {
-            quantum: 4,
-            procs: vec![info(0, 0, 1), hi],
-            events: vec![stmt(0, 0, 0, 1, StmtEffect::Continue)],
-        };
+        let h = hist(4, vec![info(0, 0, 1), hi], vec![stmt(0, 0, 0, 1, StmtEffect::Continue)]);
         assert_eq!(check_well_formed(&h), Ok(()));
     }
 
@@ -323,10 +370,7 @@ mod tests {
     fn release_makes_higher_priority_ready() {
         let mut hi = info(1, 0, 2);
         hi.held = true;
-        let h = History {
-            quantum: 4,
-            procs: vec![info(0, 0, 1), hi],
-            events: vec![
+        let h = hist(4, vec![info(0, 0, 1), hi], vec![
                 Event {
                     t: 0,
                     pid: ProcessId(1),
@@ -335,8 +379,7 @@ mod tests {
                     kind: EventKind::Release,
                 },
                 stmt(1, 0, 0, 1, StmtEffect::Continue),
-            ],
-        };
+            ]);
         assert!(matches!(
             check_well_formed(&h),
             Err(Violation::PriorityInversion { .. })
@@ -346,14 +389,10 @@ mod tests {
     #[test]
     fn first_window_preemption_is_lawful() {
         // p0 runs one statement (first window), then p1 runs: fine.
-        let h = History {
-            quantum: 4,
-            procs: vec![info(0, 0, 1), info(1, 0, 1)],
-            events: vec![
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1)], vec![
                 stmt(0, 0, 0, 1, StmtEffect::Continue),
                 stmt(1, 1, 0, 1, StmtEffect::Continue),
-            ],
-        };
+            ]);
         assert_eq!(check_well_formed(&h), Ok(()));
     }
 
@@ -368,7 +407,7 @@ mod tests {
         events.push(stmt(5, 0, 0, 1, StmtEffect::Continue));
         events.push(stmt(6, 0, 0, 1, StmtEffect::Continue));
         events.push(stmt(7, 1, 0, 1, StmtEffect::Continue)); // too early
-        let h = History { quantum: 4, procs: vec![info(0, 0, 1), info(1, 0, 1)], events };
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1)], events);
         match check_well_formed(&h) {
             Err(Violation::QuantumViolation { victim, executed, .. }) => {
                 assert_eq!(victim, ProcessId(0));
@@ -385,7 +424,7 @@ mod tests {
             events.push(stmt(t, 0, 0, 1, StmtEffect::Continue));
         }
         events.push(stmt(4, 1, 0, 1, StmtEffect::Continue));
-        let h = History { quantum: 4, procs: vec![info(0, 0, 1), info(1, 0, 1)], events };
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1)], events);
         assert_eq!(check_well_formed(&h), Ok(()));
     }
 
@@ -396,7 +435,7 @@ mod tests {
             stmt(1, 0, 0, 1, StmtEffect::InvocationEnd),
             stmt(2, 1, 0, 1, StmtEffect::Continue),
         ];
-        let h = History { quantum: 8, procs: vec![info(0, 0, 1), info(1, 0, 1)], events };
+        let h = hist(8, vec![info(0, 0, 1), info(1, 0, 1)], events);
         assert_eq!(check_well_formed(&h), Ok(()));
     }
 
@@ -427,20 +466,16 @@ mod tests {
         events.push(stmt(7, 1, 0, 1, StmtEffect::Continue)); // unlawful
         let mut p2 = info(2, 0, 2);
         p2.held = true;
-        let h = History { quantum: 4, procs: vec![info(0, 0, 1), info(1, 0, 1), p2], events };
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1), p2], events);
         assert!(matches!(check_well_formed(&h), Err(Violation::QuantumViolation { .. })));
     }
 
     #[test]
     fn own_steps_counts_statements() {
-        let h = History {
-            quantum: 4,
-            procs: vec![info(0, 0, 1)],
-            events: vec![
+        let h = hist(4, vec![info(0, 0, 1)], vec![
                 stmt(0, 0, 0, 1, StmtEffect::Continue),
                 stmt(1, 0, 0, 1, StmtEffect::Finished),
-            ],
-        };
+            ]);
         assert_eq!(h.own_steps(ProcessId(0)), 2);
     }
 }

@@ -25,12 +25,14 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::decision::{Choice, Decider};
 use crate::history::{Event, EventKind, History, ProcInfo, StmtEffect};
 use crate::ids::{ProcessId, ProcessorId, Priority};
 use crate::machine::{StepCtx, StepMachine, StepOutcome};
 use crate::obs::{DecisionKind, ObsCounters, ObsEvent, Trace, WindowCloseReason};
+use crate::sym::{Interner, Sym};
 
 /// How a process's first quantum window is sized.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -180,8 +182,11 @@ pub struct StepReport {
     pub prio: Priority,
     /// The statement's outcome.
     pub outcome: StepOutcome,
-    /// The statement's display label.
-    pub label: String,
+    /// The statement's display label, interned in the kernel's history
+    /// symbol table ([`History::syms`]). Labels are recorded only while a
+    /// history or an observability trace is attached; otherwise this is
+    /// [`Sym::EMPTY`].
+    pub label: Sym,
 }
 
 /// Result of attempting one kernel step with a (possibly partial) choice
@@ -247,8 +252,15 @@ pub struct Kernel<M> {
     n_cpus: usize,
     clock: u64,
     record_history: bool,
-    history: History,
-    ops: Vec<OpRecord>,
+    /// Arc-backed so cloning a kernel (the explorer's fork) shares the
+    /// event log; copy-on-write via [`Arc::make_mut`] at each push. With
+    /// recording off (the explorer case) the log never grows, so forks
+    /// share one allocation forever.
+    history: Arc<History>,
+    /// Completed invocations, Arc-backed like `history`: a fork copies the
+    /// records only when a branch completes another invocation, and then
+    /// only O(completed) of them.
+    ops: Arc<Vec<OpRecord>>,
     /// Attached observability trace ([`crate::obs`]); `None` means no
     /// event is ever constructed.
     obs: Option<Trace>,
@@ -256,6 +268,20 @@ pub struct Kernel<M> {
     counters: ObsCounters,
     /// Last process to execute on each cpu, for dispatch events.
     last_on_cpu: Vec<Option<ProcessId>>,
+    /// Reusable buffers for the per-step ready-cpu / candidate-holder
+    /// scans, so the hot step path performs no allocation.
+    scratch_cpus: Vec<ProcessorId>,
+    scratch_cands: Vec<ProcessId>,
+    /// Incremental state-hash bookkeeping: one component hash per process
+    /// and per processor's window list, XOR-folded into `hash_acc`. A step
+    /// touches one process and one window list, so [`Kernel::state_hash`]
+    /// is O(|mem|) instead of O(processes + windows). Maintained only
+    /// while `track_hash` is set (see [`Kernel::track_state_hash`]) so
+    /// decider-driven runs that never hash pay nothing.
+    track_hash: bool,
+    proc_hash: Vec<u64>,
+    win_hash: Vec<u64>,
+    hash_acc: u64,
 }
 
 impl<M: Clone> Clone for Kernel<M> {
@@ -285,11 +311,17 @@ impl<M: Clone> Clone for Kernel<M> {
             n_cpus: self.n_cpus,
             clock: self.clock,
             record_history: self.record_history,
-            history: self.history.clone(),
-            ops: self.ops.clone(),
+            history: Arc::clone(&self.history),
+            ops: Arc::clone(&self.ops),
             obs: self.obs.clone(),
             counters: self.counters,
             last_on_cpu: self.last_on_cpu.clone(),
+            scratch_cpus: Vec::new(),
+            scratch_cands: Vec::new(),
+            track_hash: self.track_hash,
+            proc_hash: self.proc_hash.clone(),
+            win_hash: self.win_hash.clone(),
+            hash_acc: self.hash_acc,
         }
     }
 }
@@ -306,11 +338,22 @@ impl<M> Kernel<M> {
             n_cpus: 0,
             clock: 0,
             record_history: spec.record_history,
-            history: History { quantum: spec.quantum, procs: Vec::new(), events: Vec::new() },
-            ops: Vec::new(),
+            history: Arc::new(History {
+                quantum: spec.quantum,
+                procs: Vec::new(),
+                events: Vec::new(),
+                syms: Interner::new(),
+            }),
+            ops: Arc::new(Vec::new()),
             obs: None,
             counters: ObsCounters::default(),
             last_on_cpu: Vec::new(),
+            scratch_cpus: Vec::new(),
+            scratch_cands: Vec::new(),
+            track_hash: false,
+            proc_hash: Vec::new(),
+            win_hash: Vec::new(),
+            hash_acc: 0,
         }
     }
 
@@ -363,7 +406,10 @@ impl<M> Kernel<M> {
             self.windows.push(Vec::new());
             self.last_on_cpu.push(None);
         }
-        self.history.procs.push(ProcInfo { pid, cpu, prio, held });
+        if self.track_hash {
+            self.rebuild_hash_acc();
+        }
+        Arc::make_mut(&mut self.history).procs.push(ProcInfo { pid, cpu, prio, held });
         pid
     }
 
@@ -378,17 +424,21 @@ impl<M> Kernel<M> {
         let p = &mut self.procs[pid.index()];
         assert_eq!(p.status, Status::Held, "release of a non-held process");
         p.status = Status::Ready;
+        if self.track_hash {
+            self.refresh_proc_hash(pid.index());
+        }
         self.counters.releases += 1;
         if let Some(tr) = self.obs.as_mut() {
             tr.record(ObsEvent::Release { t: self.clock, pid });
         }
         let p = &self.procs[pid.index()];
         if self.record_history {
-            self.history.events.push(Event {
+            let (cpu, prio) = (p.cpu, p.prio);
+            Arc::make_mut(&mut self.history).events.push(Event {
                 t: self.clock,
                 pid,
-                cpu: p.cpu,
-                prio: p.prio,
+                cpu,
+                prio,
                 kind: EventKind::Release,
             });
         }
@@ -475,14 +525,6 @@ impl<M> Kernel<M> {
         v
     }
 
-    fn ready_at(&self, cpu: ProcessorId, prio: Priority) -> Vec<ProcessId> {
-        self.procs
-            .iter()
-            .filter(|p| p.status == Status::Ready && p.cpu == cpu && p.prio == prio)
-            .map(|p| p.pid)
-            .collect()
-    }
-
     fn top_priority(&self, cpu: ProcessorId) -> Option<Priority> {
         self.procs
             .iter()
@@ -503,8 +545,14 @@ impl<M> Kernel<M> {
         let mut taken = [(DecisionKind::Cpu, 0usize, 0usize); 3];
         let mut n_taken = 0usize;
         // --- read-only phase: resolve all decisions ---
-        let cpus = self.runnable_cpus();
+        // Ready-cpu scan into a reusable buffer (no per-step allocation).
+        let mut cpus = std::mem::take(&mut self.scratch_cpus);
+        cpus.clear();
+        cpus.extend(self.procs.iter().filter(|p| p.status == Status::Ready).map(|p| p.cpu));
+        cpus.sort_unstable();
+        cpus.dedup();
         if cpus.is_empty() {
+            self.scratch_cpus = cpus;
             return StepAttempt::Quiescent;
         }
         let cpu = if cpus.len() == 1 {
@@ -517,9 +565,14 @@ impl<M> Kernel<M> {
                     n_taken += 1;
                     cpus[i]
                 }
-                None => return StepAttempt::NeedChoice { arity: cpus.len(), kind: "cpu" },
+                None => {
+                    let arity = cpus.len();
+                    self.scratch_cpus = cpus;
+                    return StepAttempt::NeedChoice { arity, kind: "cpu" };
+                }
             }
         };
+        self.scratch_cpus = cpus;
         let prio = self.top_priority(cpu).expect("runnable cpu has a top priority");
         // Is there an open window at (cpu, prio) whose holder must continue?
         let win = self.windows[cpu.index()]
@@ -533,7 +586,15 @@ impl<M> Kernel<M> {
         let (pid, new_window_credit) = match must_continue {
             Some(h) => (h, None),
             None => {
-                let cands = self.ready_at(cpu, prio);
+                // Candidate-holder scan, same reusable-buffer pattern.
+                let mut cands = std::mem::take(&mut self.scratch_cands);
+                cands.clear();
+                cands.extend(
+                    self.procs
+                        .iter()
+                        .filter(|p| p.status == Status::Ready && p.cpu == cpu && p.prio == prio)
+                        .map(|p| p.pid),
+                );
                 debug_assert!(!cands.is_empty());
                 let chosen = if cands.len() == 1 {
                     cands[0]
@@ -549,13 +610,13 @@ impl<M> Kernel<M> {
                             cands[i]
                         }
                         None => {
-                            return StepAttempt::NeedChoice {
-                                arity: cands.len(),
-                                kind: "holder",
-                            }
+                            let arity = cands.len();
+                            self.scratch_cands = cands;
+                            return StepAttempt::NeedChoice { arity, kind: "holder" };
                         }
                     }
                 };
+                self.scratch_cands = cands;
                 let q = self.quantum.max(1);
                 let credit = if !self.procs[chosen.index()].ever_dispatched
                     && self.first_credit == FirstCreditMode::Adversarial
@@ -673,13 +734,20 @@ impl<M> Kernel<M> {
                 tr.record(ObsEvent::InvStart { t, pid, inv_index });
             }
         }
-        let mut ctx = StepCtx::new(pid);
-        // Split borrow: machine vs memory.
-        let outcome = {
-            let p = &mut self.procs[idx];
-            p.machine.step(&mut self.mem, &mut ctx)
+        // Labels are interned into the history's symbol table while a
+        // recorder is attached; otherwise the discarding context makes the
+        // whole label path a no-op (and allocation-free).
+        let (outcome, label) = if self.record_history || self.obs.is_some() {
+            let syms = &mut Arc::make_mut(&mut self.history).syms;
+            let mut ctx = StepCtx::recording(pid, syms);
+            // Split borrow: machine vs memory.
+            let outcome = self.procs[idx].machine.step(&mut self.mem, &mut ctx);
+            (outcome, ctx.take_label().unwrap_or(Sym::EMPTY))
+        } else {
+            let mut ctx = StepCtx::discarding(pid);
+            let outcome = self.procs[idx].machine.step(&mut self.mem, &mut ctx);
+            (outcome, Sym::EMPTY)
         };
-        let label = ctx.take_label().unwrap_or_default();
         self.clock += 1;
 
         // Window and status updates.
@@ -730,19 +798,23 @@ impl<M> Kernel<M> {
         self.counters.statements += 1;
         if effect != StmtEffect::Continue {
             self.counters.invocations_completed += 1;
-            self.ops.push(OpRecord {
+            let rec = OpRecord {
                 start: self.procs[idx].inv_start,
                 t,
                 pid,
                 inv_index: self.procs[idx].machine_inv_index(),
                 output,
-            });
+            };
+            Arc::make_mut(&mut self.ops).push(rec);
         }
         if self.obs.is_some() {
             let inv_index =
                 if effect != StmtEffect::Continue { self.procs[idx].machine_inv_index() } else { 0 };
             let tr = self.obs.as_mut().expect("checked above");
-            tr.record(ObsEvent::Stmt { t, pid, cpu, prio, effect, label: label.clone() });
+            tr.record(ObsEvent::Stmt { t, pid, cpu, prio, effect, label });
+            // Keep the trace's symbol table a superset of the labels it
+            // holds, so a detached trace is always self-contained.
+            tr.syms.sync_from(&self.history.syms);
             if effect != StmtEffect::Continue {
                 tr.record(ObsEvent::InvEnd { t, pid, inv_index, output });
             }
@@ -751,13 +823,18 @@ impl<M> Kernel<M> {
             }
         }
         if self.record_history {
-            self.history.events.push(Event {
+            Arc::make_mut(&mut self.history).events.push(Event {
                 t,
                 pid,
                 cpu,
                 prio,
-                kind: EventKind::Stmt { label: label.clone(), effect, output },
+                kind: EventKind::Stmt { label, effect, output },
             });
+        }
+        if self.track_hash {
+            // Only the stepping process and this cpu's window list changed.
+            self.refresh_proc_hash(idx);
+            self.refresh_win_hash(cpu.index());
         }
         StepAttempt::Stepped(StepReport { t, pid, cpu, prio, outcome, label })
     }
@@ -803,32 +880,108 @@ impl<M> Kernel<M> {
         n
     }
 
+    /// Component hash of one process's scheduling-relevant state, salted
+    /// with its index and a domain tag so components of different processes
+    /// (and of window lists) cannot cancel under the XOR fold.
+    fn proc_component(p: &ProcEntry<M>, index: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        0xA5u8.hash(&mut h);
+        index.hash(&mut h);
+        p.machine.state_key(&mut h);
+        (p.status == Status::Ready).hash(&mut h);
+        (p.status == Status::Finished).hash(&mut h);
+        p.mid_invocation.hash(&mut h);
+        p.ever_dispatched.hash(&mut h);
+        h.finish()
+    }
+
+    /// Component hash of one processor's open windows.
+    fn win_component(ws: &[Window], cpu_index: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        0x5Au8.hash(&mut h);
+        cpu_index.hash(&mut h);
+        for w in ws {
+            if w.open {
+                w.holder.hash(&mut h);
+                w.prio.hash(&mut h);
+                w.count.hash(&mut h);
+                w.credit.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Rebuilds the component tables and accumulator from scratch.
+    fn rebuild_hash_acc(&mut self) {
+        self.proc_hash.clear();
+        self.proc_hash
+            .extend(self.procs.iter().enumerate().map(|(i, p)| Self::proc_component(p, i)));
+        self.win_hash.clear();
+        self.win_hash
+            .extend(self.windows.iter().enumerate().map(|(i, ws)| Self::win_component(ws, i)));
+        self.hash_acc = self.proc_hash.iter().chain(&self.win_hash).fold(0, |a, c| a ^ c);
+    }
+
+    /// Turns on incremental [`Kernel::state_hash`] maintenance: after this,
+    /// each step refreshes only the stepping process's and cpu's hash
+    /// components, making repeated `state_hash` calls O(|mem|). The
+    /// explorer enables this on its root clone; decider-driven runs that
+    /// never hash skip the bookkeeping entirely. Clones inherit the flag.
+    pub fn track_state_hash(&mut self) {
+        self.track_hash = true;
+        self.rebuild_hash_acc();
+    }
+
+    fn refresh_proc_hash(&mut self, idx: usize) {
+        let c = Self::proc_component(&self.procs[idx], idx);
+        self.hash_acc ^= self.proc_hash[idx] ^ c;
+        self.proc_hash[idx] = c;
+    }
+
+    fn refresh_win_hash(&mut self, cpu_index: usize) {
+        let c = Self::win_component(&self.windows[cpu_index], cpu_index);
+        self.hash_acc ^= self.win_hash[cpu_index] ^ c;
+        self.win_hash[cpu_index] = c;
+    }
+
+    /// The XOR fold recomputed from scratch; the incremental `hash_acc`
+    /// must always equal this (checked by a debug assertion in
+    /// [`Kernel::state_hash`]).
+    fn compute_hash_acc(&self) -> u64 {
+        let mut acc = 0;
+        for (i, p) in self.procs.iter().enumerate() {
+            acc ^= Self::proc_component(p, i);
+        }
+        for (i, ws) in self.windows.iter().enumerate() {
+            acc ^= Self::win_component(ws, i);
+        }
+        acc
+    }
+
     /// Hashes the complete scheduling-relevant state (memory, machines,
     /// statuses, windows) for visited-state deduplication. Requires
     /// `M: Hash`.
+    ///
+    /// The process and window contributions are maintained incrementally —
+    /// each step refreshes only the stepping process's and cpu's components
+    /// — so this costs O(|mem|) per call rather than a full rescan.
     pub fn state_hash(&self) -> u64
     where
         M: Hash,
     {
+        let acc = if self.track_hash {
+            debug_assert_eq!(
+                self.hash_acc,
+                self.compute_hash_acc(),
+                "incremental state-hash accumulator diverged from a full recomputation"
+            );
+            self.hash_acc
+        } else {
+            self.compute_hash_acc()
+        };
         let mut h = DefaultHasher::new();
         self.mem.hash(&mut h);
-        for p in &self.procs {
-            p.machine.state_key(&mut h);
-            (p.status == Status::Ready).hash(&mut h);
-            (p.status == Status::Finished).hash(&mut h);
-            p.mid_invocation.hash(&mut h);
-            p.ever_dispatched.hash(&mut h);
-        }
-        for ws in &self.windows {
-            for w in ws {
-                if w.open {
-                    w.holder.hash(&mut h);
-                    w.prio.hash(&mut h);
-                    w.count.hash(&mut h);
-                    w.credit.hash(&mut h);
-                }
-            }
-        }
+        acc.hash(&mut h);
         h.finish()
     }
 }

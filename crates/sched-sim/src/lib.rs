@@ -69,11 +69,13 @@ pub mod report;
 pub mod rng;
 pub mod scenario;
 pub mod sweep;
+pub mod sym;
 pub mod trace;
 
 pub use decision::{Decider, RoundRobin, Scripted, SeededRandom};
 pub use ids::{ProcessId, ProcessorId, Priority};
 pub use kernel::{Kernel, SystemSpec};
 pub use machine::{StepCtx, StepMachine, StepOutcome};
+pub use sym::{Interner, Sym};
 pub use scenario::{RunResult, Scenario};
 pub use sweep::{cross, default_jobs, run_cells};

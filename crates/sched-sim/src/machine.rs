@@ -4,6 +4,7 @@
 use core::hash::Hasher;
 
 use crate::ids::ProcessId;
+use crate::sym::{Interner, Sym};
 
 /// The result of executing one atomic statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,31 +21,77 @@ pub enum StepOutcome {
     Finished,
 }
 
+/// Where a [`StepCtx`] sends labels.
+#[derive(Debug)]
+enum LabelSink<'a> {
+    /// Labels are dropped without any work: no recorder (history or trace)
+    /// is attached, so the step path does zero label processing.
+    Discard,
+    /// Labels are interned into the kernel's symbol table.
+    Intern(&'a mut Interner),
+    /// Labels are interned into a table owned by the context itself — used
+    /// by [`StepCtx::new`] so machines can be driven directly in tests.
+    Own(Interner),
+}
+
 /// Context handed to a machine for each statement execution.
 ///
 /// The machine uses it to learn its own identity and to label the statement
-/// for history recording and trace rendering.
+/// for history recording and trace rendering. Labels are interned (see
+/// [`crate::sym`]): the context carries a [`Sym`], not a `String`, and when
+/// nothing records labels the whole path is a no-op.
 #[derive(Debug)]
-pub struct StepCtx {
+pub struct StepCtx<'a> {
     /// The identity of the executing process.
     pub pid: ProcessId,
-    pub(crate) label: Option<String>,
+    pub(crate) label: Option<Sym>,
+    sink: LabelSink<'a>,
 }
 
-impl StepCtx {
-    /// Creates a context for `pid`. The kernel constructs one per statement;
-    /// exposed publicly so machines can be driven directly in tests.
+impl StepCtx<'static> {
+    /// Creates a self-contained context for `pid`, with its own private
+    /// symbol table. The kernel uses the cheaper internal constructors; this
+    /// one is exposed so machines can be driven directly in tests (labels
+    /// remain inspectable via [`StepCtx::label_str`]).
     pub fn new(pid: ProcessId) -> Self {
-        StepCtx { pid, label: None }
+        StepCtx { pid, label: None, sink: LabelSink::Own(Interner::new()) }
+    }
+
+    /// A context that discards labels entirely (nothing is recording).
+    pub(crate) fn discarding(pid: ProcessId) -> Self {
+        StepCtx { pid, label: None, sink: LabelSink::Discard }
+    }
+}
+
+impl<'a> StepCtx<'a> {
+    /// A context that interns labels into `syms` (the kernel's table).
+    pub(crate) fn recording(pid: ProcessId, syms: &'a mut Interner) -> Self {
+        StepCtx { pid, label: None, sink: LabelSink::Intern(syms) }
     }
 
     /// Labels the statement being executed (e.g. `"3: w := P[i]"`).
-    /// The label appears in histories and rendered traces.
-    pub fn label(&mut self, s: impl Into<String>) {
-        self.label = Some(s.into());
+    /// The label appears in histories and rendered traces. When neither a
+    /// history nor a trace is recording, this is a no-op.
+    pub fn label(&mut self, s: impl AsRef<str>) {
+        match &mut self.sink {
+            LabelSink::Discard => {}
+            LabelSink::Intern(syms) => self.label = Some(syms.intern(s.as_ref())),
+            LabelSink::Own(syms) => self.label = Some(syms.intern(s.as_ref())),
+        }
     }
 
-    pub(crate) fn take_label(&mut self) -> Option<String> {
+    /// The label recorded so far this step, as a string (for direct-driving
+    /// tests; `None` if unlabeled or the context is discarding labels).
+    pub fn label_str(&self) -> Option<&str> {
+        let sym = self.label?;
+        match &self.sink {
+            LabelSink::Discard => None,
+            LabelSink::Intern(syms) => Some(syms.resolve(sym)),
+            LabelSink::Own(syms) => Some(syms.resolve(sym)),
+        }
+    }
+
+    pub(crate) fn take_label(&mut self) -> Option<Sym> {
         self.label.take()
     }
 }
@@ -62,7 +109,7 @@ impl StepCtx {
 /// than implemented by hand.
 pub trait StepMachine<M>: Send {
     /// Executes the next atomic statement against `mem`.
-    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx) -> StepOutcome;
+    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx<'_>) -> StepOutcome;
 
     /// The output of the most recently completed invocation, if any.
     ///
@@ -121,7 +168,7 @@ impl<M> Clone for FnMachine<M> {
 }
 
 impl<M: 'static> StepMachine<M> for FnMachine<M> {
-    fn step(&mut self, mem: &mut M, _ctx: &mut StepCtx) -> StepOutcome {
+    fn step(&mut self, mem: &mut M, _ctx: &mut StepCtx<'_>) -> StepOutcome {
         let (o, out) = (self.f)(mem, self.calls);
         self.calls += 1;
         if out.is_some() {
@@ -188,7 +235,16 @@ mod tests {
     fn ctx_label_roundtrip() {
         let mut ctx = StepCtx::new(ProcessId(3));
         ctx.label("1: v := val");
-        assert_eq!(ctx.take_label().as_deref(), Some("1: v := val"));
+        assert_eq!(ctx.label_str(), Some("1: v := val"));
+        assert!(ctx.take_label().is_some());
+        assert_eq!(ctx.take_label(), None);
+    }
+
+    #[test]
+    fn discarding_ctx_drops_labels_without_work() {
+        let mut ctx = StepCtx::discarding(ProcessId(0));
+        ctx.label("ignored");
+        assert_eq!(ctx.label_str(), None);
         assert_eq!(ctx.take_label(), None);
     }
 }

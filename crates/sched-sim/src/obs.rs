@@ -61,6 +61,7 @@
 use crate::decision::Scripted;
 use crate::history::StmtEffect;
 use crate::ids::{ProcessId, ProcessorId, Priority};
+use crate::sym::{Interner, Sym};
 
 /// Which kind of scheduling decision was consulted (see
 /// [`crate::decision::Choice`]).
@@ -235,8 +236,11 @@ pub enum ObsEvent {
         prio: Priority,
         /// Effect on the invocation.
         effect: StmtEffect,
-        /// The statement's display label (may be empty).
-        label: String,
+        /// The statement's display label (may be empty), interned in the
+        /// owning trace's [`Trace::syms`] table. The derived `==` on events
+        /// compares the raw id, meaningful only within one trace; whole-
+        /// trace `==` resolves labels and is safe across traces.
+        label: Sym,
     },
     /// A held process was released (became ready).
     Release {
@@ -300,11 +304,40 @@ fn unescape(s: &str) -> String {
 /// retrieve with [`Kernel::take_obs`](crate::kernel::Kernel::take_obs) (or
 /// borrow via [`Kernel::obs`](crate::kernel::Kernel::obs)). See the
 /// [module docs](self) for the capture → serialize → replay workflow.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// The captured events, in execution order.
     pub events: Vec<ObsEvent>,
+    /// Symbol table resolving the [`Sym`] labels of statement events. The
+    /// kernel keeps it synced with its master table after every statement,
+    /// so a detached trace is always self-contained.
+    pub syms: Interner,
 }
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events.len() == other.events.len()
+            && self.events.iter().zip(&other.events).all(|(a, b)| match (a, b) {
+                (
+                    ObsEvent::Stmt { t, pid, cpu, prio, effect, label },
+                    ObsEvent::Stmt {
+                        t: t2,
+                        pid: p2,
+                        cpu: c2,
+                        prio: pr2,
+                        effect: e2,
+                        label: l2,
+                    },
+                ) => {
+                    (t, pid, cpu, prio, effect) == (t2, p2, c2, pr2, e2)
+                        && self.syms.resolve(*label) == other.syms.resolve(*l2)
+                }
+                _ => a == b,
+            })
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// An empty trace.
@@ -387,7 +420,7 @@ impl Trace {
                         cpu.0,
                         prio.0,
                         effect_tag(*effect),
-                        escape(label)
+                        escape(self.syms.resolve(*label))
                     ));
                 }
                 ObsEvent::Release { t, pid } => {
@@ -405,6 +438,7 @@ impl Trace {
     /// Returns a message naming the first malformed line.
     pub fn from_text(text: &str) -> Result<Trace, String> {
         let mut events = Vec::new();
+        let mut syms = Interner::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
@@ -484,7 +518,7 @@ impl Trace {
                         .next()
                         .and_then(effect_from_tag)
                         .ok_or_else(|| err("bad effect"))?;
-                    let label = unescape(&f.collect::<Vec<_>>().join(" "));
+                    let label = syms.intern(&unescape(&f.collect::<Vec<_>>().join(" ")));
                     ObsEvent::Stmt { t, pid, cpu, prio, effect, label }
                 }
                 "release" => {
@@ -494,7 +528,7 @@ impl Trace {
             };
             events.push(ev);
         }
-        Ok(Trace { events })
+        Ok(Trace { events, syms })
     }
 }
 
@@ -562,7 +596,10 @@ mod tests {
     use super::*;
 
     fn sample() -> Trace {
+        let mut syms = Interner::new();
+        let weird = syms.intern("3: w := P[i]  \\ weird \\ label");
         Trace {
+            syms,
             events: vec![
                 ObsEvent::Decision { kind: DecisionKind::Cpu, arity: 2, chosen: 1 },
                 ObsEvent::Decision { kind: DecisionKind::Holder, arity: 3, chosen: 0 },
@@ -587,7 +624,7 @@ mod tests {
                     cpu: ProcessorId(1),
                     prio: Priority(2),
                     effect: StmtEffect::Continue,
-                    label: "3: w := P[i]  \\ weird \\ label".into(),
+                    label: weird,
                 },
                 ObsEvent::PreemptSame { t: 4, victim: ProcessId(3), by: ProcessId(5) },
                 ObsEvent::PreemptHigher { t: 6, victim: ProcessId(3) },
@@ -617,17 +654,46 @@ mod tests {
 
     #[test]
     fn labels_with_newlines_survive() {
+        let mut syms = Interner::new();
+        let label = syms.intern("line1\nline2 \\ tail");
         let t = Trace {
+            syms,
             events: vec![ObsEvent::Stmt {
                 t: 0,
                 pid: ProcessId(0),
                 cpu: ProcessorId(0),
                 prio: Priority(1),
                 effect: StmtEffect::Finished,
-                label: "line1\nline2 \\ tail".into(),
+                label,
             }],
         };
         assert_eq!(Trace::from_text(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn traces_with_different_tables_compare_by_resolved_label() {
+        // Same event stream, but one table has extra entries interned
+        // before the label — raw Sym ids differ, resolved labels match.
+        let mk = |prefix: &[&str], label: &str| {
+            let mut syms = Interner::new();
+            for p in prefix {
+                syms.intern(p);
+            }
+            let label = syms.intern(label);
+            Trace {
+                syms,
+                events: vec![ObsEvent::Stmt {
+                    t: 0,
+                    pid: ProcessId(0),
+                    cpu: ProcessorId(0),
+                    prio: Priority(1),
+                    effect: StmtEffect::Continue,
+                    label,
+                }],
+            }
+        };
+        assert_eq!(mk(&["a", "b"], "x"), mk(&[], "x"));
+        assert_ne!(mk(&[], "x"), mk(&[], "y"));
     }
 
     #[test]

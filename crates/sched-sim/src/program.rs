@@ -388,29 +388,34 @@ where
     L: Clone + Hash + Send + 'static,
     M: 'static,
 {
-    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx) -> StepOutcome {
+    fn step(&mut self, mem: &mut M, ctx: &mut StepCtx<'_>) -> StepOutcome {
         assert!(!self.finished, "step called on a finished process");
         let mut fuel = self.free_fuel;
         loop {
             let &(p, pc) = self.frames.last().expect("machine has no frame");
-            let stmt = &self.prog.procs[p].stmts[pc];
-            let counted = stmt.counted;
-            let name = stmt.name.clone();
-            let run = stmt.run.clone();
-            let flow = run(&mut self.locals, mem);
+            // Field-disjoint borrows (statement behind the shared program
+            // vs the locals), so the hot path clones neither the closure
+            // Arc nor the display name. The program itself never mutates,
+            // so re-indexing by (p, pc) after `apply_flow` is safe.
+            let flow = {
+                let stmt = &self.prog.procs[p].stmts[pc];
+                (stmt.run)(&mut self.locals, mem)
+            };
+            let counted = self.prog.procs[p].stmts[pc].counted;
             let inv_done = self.apply_flow(flow);
             if inv_done {
                 assert!(
                     counted,
-                    "invocation completed by uncounted statement `{name}`; \
-                     returns must be counted statements"
+                    "invocation completed by uncounted statement `{}`; \
+                     returns must be counted statements",
+                    self.prog.procs[p].stmts[pc].name
                 );
+                ctx.label(&self.prog.procs[p].stmts[pc].name);
                 self.out = (self.out_fn)(&self.locals);
                 self.inv_index += 1;
                 if !self.finished {
                     self.start_invocation();
                 }
-                ctx.label(name);
                 return if self.finished {
                     StepOutcome::Finished
                 } else {
@@ -418,11 +423,15 @@ where
                 };
             }
             if counted {
-                ctx.label(name);
+                ctx.label(&self.prog.procs[p].stmts[pc].name);
                 return StepOutcome::Continue;
             }
             fuel -= 1;
-            assert!(fuel > 0, "uncounted-statement loop detected at `{name}`");
+            assert!(
+                fuel > 0,
+                "uncounted-statement loop detected at `{}`",
+                self.prog.procs[p].stmts[pc].name
+            );
         }
     }
 
@@ -456,7 +465,7 @@ mod tests {
         ret: u64,
     }
 
-    fn ctx() -> StepCtx {
+    fn ctx() -> StepCtx<'static> {
         StepCtx::new(ProcessId(0))
     }
 

@@ -133,7 +133,7 @@ mod tests {
             pid: ProcessId(pid),
             cpu: ProcessorId(0),
             prio: Priority(1),
-            kind: EventKind::Stmt { label: String::new(), effect, output: None },
+            kind: EventKind::Stmt { label: crate::sym::Sym::EMPTY, effect, output: None },
         }
     }
 
@@ -161,6 +161,7 @@ mod tests {
                 stmt(3, 1, StmtEffect::Finished),
                 stmt(4, 0, StmtEffect::Finished),
             ],
+            syms: crate::sym::Interner::new(),
         }
     }
 

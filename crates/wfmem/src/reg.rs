@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_count() {
-        let mut r = Reg::new(3u64);
+        let r = Reg::new(3u64);
         assert_eq!(*r.peek(), 3);
         assert_eq!(r.reads(), 0);
     }

@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test -q (warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo test -q
 
 echo "== cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -22,5 +22,20 @@ smoke_dir="target/smoke-sweep"
 rm -rf "$smoke_dir" && mkdir -p "$smoke_dir"
 (cd "$smoke_dir" && ../../target/release/experiments --thm1 --jobs 2 > /dev/null)
 target/release/experiments --validate "$smoke_dir/BENCH_sweeps.json"
+
+echo "== perf smoke (experiments --perf --smoke) + throughput gate =="
+# A shrunk throughput sweep through the same JSONL artifact path, schema-
+# checked, then compared against the committed BENCH_perf.json: the gate
+# fails if any workload kind's steps/sec fell below 70% of the committed
+# baseline. Set SKIP_PERF_GATE=1 to skip the regression comparison (e.g.
+# on heavily-loaded or throttled machines where wall-clock is unreliable);
+# the smoke run and schema validation still execute.
+if [[ -n "${SKIP_PERF_GATE:-}" ]]; then
+  (cd "$smoke_dir" && ../../target/release/experiments --perf --smoke > /dev/null)
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --perf --smoke \
+      --perf-baseline ../../BENCH_perf.json > /dev/null)
+fi
+target/release/experiments --validate "$smoke_dir/BENCH_perf.json"
 
 echo "All checks passed."

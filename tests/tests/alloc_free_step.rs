@@ -1,0 +1,102 @@
+//! The PR 3 zero-allocation contract, enforced by a counting allocator:
+//! with history recording and observability both off, the kernel's
+//! steady-state step loop performs **no heap allocation at all**.
+//!
+//! This is the acceptance criterion for the allocation-free step path:
+//! labels are discarded without materialisation (`StepCtx` in discarding
+//! mode), the cpu/candidate scans reuse the kernel's scratch buffers, and
+//! nothing on the statement path touches `String` or grows a `Vec` once
+//! the warmup has sized every reusable buffer.
+//!
+//! This file deliberately holds a single test: the `#[global_allocator]`
+//! counts process-wide, so a second concurrently-running test would
+//! pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sched_sim::program::{Flow, ProgMachine, ProgramBuilder};
+use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
+
+/// Wraps the system allocator, counting every allocation (alloc, realloc,
+/// alloc_zeroed). Deallocations are not counted — the contract is about
+/// acquiring memory on the hot path.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A nonterminating two-process workload on one processor: each process
+/// spins on a labelled counted statement, so every kernel step runs the
+/// full path — cpu scan, holder scan, quantum accounting, machine step
+/// with a statement label offered to the context — forever.
+fn spinning_kernel() -> Kernel<u64> {
+    let mut b = ProgramBuilder::<(), u64>::new();
+    let main = b.proc("spin");
+    let top = b.here(main);
+    b.stmt(main, "1: mem := mem + 1", move |_l, mem| {
+        *mem = mem.wrapping_add(1);
+        Flow::Goto(top)
+    });
+    let prog = b.build();
+
+    let mut k = Kernel::new(0u64, SystemSpec::hybrid(8).with_adversarial_alignment());
+    for _ in 0..2 {
+        k.add_process(
+            ProcessorId(0),
+            Priority(1),
+            Box::new(ProgMachine::single_shot(&prog, (), main)),
+        );
+    }
+    k
+}
+
+#[test]
+fn steady_state_step_loop_does_not_allocate() {
+    let mut k = spinning_kernel();
+    let mut decider = RoundRobin::new();
+
+    // Warmup: lets the kernel's scratch buffers and the decider's
+    // round-robin memory reach their steady-state capacities.
+    for _ in 0..200 {
+        assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "kernel step loop allocated {} times over 1000 steps with obs and history off",
+        after - before
+    );
+    assert!(k.mem >= 1_000, "statements must actually have executed");
+}

@@ -1,0 +1,77 @@
+//! Pinned exploration statistics for the paper's canonical workloads.
+//!
+//! The explorer's fork/dedup machinery was restructured in PR 3 (in-place
+//! stepping, fixed-array scripts, identity-hashed visited set, tracked
+//! incremental state hashes). These pins assert that none of it changed
+//! *what* is explored: terminals, total steps and dedup hits for the
+//! Fig. 3 consensus exploration, and the bivalent-chain depths of the
+//! Fig. 10 valency probe, must stay bit-identical to the pre-optimisation
+//! values captured at the parent commit.
+
+use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
+use lowerbound::valency::bivalent_chain_depth;
+use sched_sim::explore::{explore, ExploreBounds, ExploreStats, Verdict};
+use sched_sim::{Kernel, ProcessorId, Priority, Scenario, SystemSpec};
+
+/// The Fig. 3 configuration used throughout the experiments: all processes
+/// on one processor, adversarial quantum alignment.
+fn fig3_kernel(q: u32, inputs: &[(u64, u32)]) -> Kernel<UniConsensusMem> {
+    let mut s = Scenario::new(
+        UniConsensusMem::default(),
+        SystemSpec::hybrid(q).with_adversarial_alignment(),
+    );
+    for &(v, pr) in inputs {
+        s.add_process(ProcessorId(0), Priority(pr), Box::new(decide_machine(v)));
+    }
+    s.into_kernel()
+}
+
+fn stats_of(q: u32, inputs: &[(u64, u32)]) -> ExploreStats {
+    explore(&fig3_kernel(q, inputs), ExploreBounds::default(), |_| Verdict::KeepGoing)
+}
+
+/// Fig. 3, Q = 8, two equal-priority processes: the workload behind the
+/// `fig3_q8_2p` throughput cell.
+#[test]
+fn fig3_q8_two_procs_stats_pinned() {
+    assert_eq!(
+        stats_of(MIN_QUANTUM, &[(1, 1), (2, 1)]),
+        ExploreStats { terminals: 14, steps: 1514, deduped: 226, truncated: false }
+    );
+}
+
+/// Fig. 3, Q = 8, three processes with a higher-priority third: priority
+/// scheduling collapses the schedule tree to a single terminal.
+#[test]
+fn fig3_q8_three_procs_stats_pinned() {
+    assert_eq!(
+        stats_of(MIN_QUANTUM, &[(1, 1), (2, 1), (3, 2)]),
+        ExploreStats { terminals: 1, steps: 1328, deduped: 246, truncated: false }
+    );
+}
+
+/// Fig. 3 under a too-small quantum (Q = 1 < the paper's bound): far more
+/// interleavings survive, and the explorer must still visit them all.
+#[test]
+fn fig3_q1_two_procs_stats_pinned() {
+    assert_eq!(
+        stats_of(1, &[(1, 1), (2, 1)]),
+        ExploreStats { terminals: 32, steps: 912, deduped: 322, truncated: false }
+    );
+}
+
+/// Fig. 10 valency probe: the bivalent-chain depth for the two-process
+/// Fig. 3 consensus object, per quantum. Larger quanta resolve the
+/// decision sooner (shorter chains), pinning the FLP-style argument the
+/// lower-bound section builds on.
+#[test]
+fn fig10_bivalent_chain_depths_pinned() {
+    let depths: Vec<(u32, u32)> = [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|q| {
+            let k = fig3_kernel(q, &[(1, 1), (2, 1)]);
+            (q, bivalent_chain_depth(&k, 16, ExploreBounds::default()))
+        })
+        .collect();
+    assert_eq!(depths, vec![(1, 13), (2, 10), (4, 10), (8, 6)]);
+}

@@ -9,9 +9,10 @@
 
 use hybrid_wf::multi::consensus::LocalMode;
 use hybrid_wf::multi::failures::{lemma3_bound_holds, summarize};
+use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use hybrid_wf::universal::{op_machine, CounterSpec, UniversalMem};
 use lowerbound::adversary::{adversary_for_seed, fig7_scenario};
-use sched_sim::obs::ObsCounters;
+use sched_sim::obs::{ObsCounters, Trace};
 use sched_sim::sweep::{cross, run_cells};
 use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
 
@@ -93,4 +94,37 @@ fn universal_counter_sweep_identical_alg_counters() {
         let reference = run_cells(&grid, 1, |_, &(n, seed)| cell(n, seed));
         assert_eq!(got, reference, "jobs={jobs}");
     }
+}
+
+/// A seeded Fig. 3 consensus run reproduces its observability trace
+/// **byte for byte** against a golden file captured at the parent commit
+/// (before the interned-label / copy-on-write history rework of PR 3).
+///
+/// This pins two things at once: that seeded runs stay deterministic
+/// across refactors, and that interning statement labels changed nothing
+/// about the serialized trace — `Sym` resolves back to the same strings
+/// the old `String`-carrying events produced.
+#[test]
+fn fig3_seeded_trace_is_byte_identical_to_golden() {
+    const GOLDEN: &str = include_str!("../golden/fig3_seed42_trace.txt");
+
+    let mut s = Scenario::new(
+        UniConsensusMem::default(),
+        SystemSpec::hybrid(MIN_QUANTUM).with_adversarial_alignment().with_history(),
+    )
+    .with_obs()
+    .step_budget(10_000);
+    s.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(1)));
+    s.add_process(ProcessorId(0), Priority(1), Box::new(decide_machine(2)));
+    let mut r = s.run_seeded(42);
+    assert!(r.all_finished);
+
+    let trace = r.take_trace().expect("obs was attached");
+    let text = trace.to_text();
+    assert_eq!(text, GOLDEN, "seeded Fig. 3 trace diverged from the golden capture");
+
+    // And the golden text round-trips through the parser back to the
+    // in-memory trace, label resolution included.
+    let reparsed = Trace::from_text(GOLDEN).expect("golden trace parses");
+    assert_eq!(reparsed, trace);
 }

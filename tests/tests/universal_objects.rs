@@ -70,7 +70,7 @@ fn generated_queue_mixes_linearizable() {
     for case in 0..48u32 {
         let seed = gen.next_u64() % 1000;
         let quantum = gen.range_u32(1, 32);
-        let mut decode = |gen: &mut SplitMix64, base: u64| -> Vec<QueueOp> {
+        let decode = |gen: &mut SplitMix64, base: u64| -> Vec<QueueOp> {
             let len = gen.range_u32(1, 4) as usize;
             (0..len)
                 .map(|i| {
