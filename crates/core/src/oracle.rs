@@ -27,8 +27,35 @@ use std::fs;
 use std::hash::Hash;
 use std::path::{Path, PathBuf};
 
+use sched_sim::kernel::OpRecord;
 use sched_sim::obs::Trace;
 use wfmem::Val;
+
+/// Converts the kernel's completed-invocation log into oracle-ready
+/// [`TimedOp`]s.
+///
+/// `op_of(pid, inv_index)` names the operation the process performed on
+/// that invocation (the caller knows its own op plans); records whose
+/// machine reported no output are skipped, since an operation without an
+/// observed result constrains no linearization in our completed-history
+/// model. This is the bridge the fuzzer uses to run
+/// [`check_linearizable`] against any [`sched_sim::scenario::RunResult`].
+pub fn timed_ops<O>(
+    records: &[OpRecord],
+    mut op_of: impl FnMut(u32, u32) -> O,
+) -> Vec<TimedOp<O>> {
+    records
+        .iter()
+        .filter_map(|r| {
+            r.output.map(|out| TimedOp {
+                start: r.start,
+                end: r.t,
+                op: op_of(r.pid.0, r.inv_index),
+                result: out,
+            })
+        })
+        .collect()
+}
 
 /// A completed operation with its real-time interval and observed result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -266,6 +293,24 @@ impl SeqSpec for QueueSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sched_sim::ids::ProcessId;
+
+    #[test]
+    fn timed_ops_maps_records_and_skips_missing_outputs() {
+        let records = vec![
+            OpRecord { start: 0, t: 5, pid: ProcessId(0), inv_index: 0, output: Some(1) },
+            OpRecord { start: 2, t: 9, pid: ProcessId(1), inv_index: 0, output: None },
+            OpRecord { start: 6, t: 8, pid: ProcessId(0), inv_index: 1, output: Some(100) },
+        ];
+        let ops = timed_ops(&records, |pid, inv| (pid, inv));
+        assert_eq!(
+            ops,
+            vec![
+                TimedOp { start: 0, end: 5, op: (0, 0), result: 1 },
+                TimedOp { start: 6, end: 8, op: (0, 1), result: 100 },
+            ]
+        );
+    }
 
     fn cas(start: u64, end: u64, old: Val, new: Val, ok: bool) -> TimedOp<CasRegOp> {
         TimedOp { start, end, op: CasRegOp::Cas { old, new }, result: u64::from(ok) }

@@ -16,18 +16,31 @@
 //! * `--poly-vs-exp` — polynomial Fig. 7 vs exponential baseline
 //! * `--obs`       — observability: per-run counters + capture/replay demo
 //! * `--perf`      — throughput sweep (steps/sec) → `BENCH_perf.json`
+//! * `--fuzz`      — adversarial schedule fuzz over every algorithm family
+//!                   → `BENCH_fuzz.json` (never part of the default `--all`
+//!                   run; must be requested explicitly)
 //!
 //! `--perf` accepts two modifiers: `--smoke` shrinks the workloads for CI,
 //! and `--perf-baseline FILE` compares the fresh rates against a committed
 //! `BENCH_perf.json`, exiting nonzero on a > 30% per-kind regression.
 //!
-//! Sweep-shaped experiments (`--table1 --thm1 --thm4 --failures`) run over
-//! the `sched_sim::sweep` worker pool; `--jobs N` sets the worker count
-//! (default: available parallelism). Results are **bit-identical for every
-//! jobs value** — only wall time changes. They also emit line-oriented
-//! JSON artifacts: `BENCH_table1.json` (the Table 1 grid) and
-//! `BENCH_sweeps.json` (the other sweeps). `--validate FILE` checks such
-//! an artifact against the cell schema and exits.
+//! `--fuzz` drives hostile deciders (`sched_sim::fuzz`) against every
+//! family at legal and sub-threshold quanta, checking each family's safety
+//! oracle (`lowerbound::fuzz`). Violations are delta-debugged to minimal
+//! replayable counterexample artifacts under `--fuzz-dir DIR` (default
+//! `tests/golden/fuzz`); `--smoke` shrinks the seed count for CI. Exits
+//! nonzero on a violation at legal Q (a bug) or a missing violation where
+//! the paper predicts impossibility.
+//!
+//! Sweep-shaped experiments (`--table1 --thm1 --thm4 --failures --fuzz`)
+//! run over the `sched_sim::sweep` worker pool; `--jobs N` sets the worker
+//! count (default: available parallelism). Results are **bit-identical for
+//! every jobs value** — only wall time changes. They also emit
+//! line-oriented JSON artifacts: `BENCH_table1.json` (the Table 1 grid)
+//! and `BENCH_sweeps.json` (the other sweeps). Canonical artifacts carry
+//! only deterministic payloads; wall times go to a `*.timing.json` sidecar
+//! so regeneration never dirties a committed artifact. `--validate FILE`
+//! checks either kind of artifact against its schema and exits.
 
 use std::time::{Duration, Instant};
 
@@ -39,12 +52,13 @@ use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use hybrid_wf::universal::{op_machine as universal_machine, CounterSpec, UniversalMem};
 use lowerbound::adversary::{adversary_for_seed, fig7_scenario};
 use lowerbound::fig6;
+use lowerbound::fuzz::{case_specs, fuzz_cell, shrink_and_capture, CaseSpec, Expect, DECIDERS};
 use lowerbound::valency::{bivalent_chain_depth, bivalent_chain_probe};
 use sched_sim::decision::RoundRobin;
 use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
-use sched_sim::report::{validate_cells, Json, CELL_SCHEMA};
+use sched_sim::report::{split_timing, validate_cells, Json, CELL_SCHEMA, TIMING_SCHEMA};
 use sched_sim::scenario::{RunResult, Scenario};
 use sched_sim::sweep::{cross, default_jobs, run_cells};
 
@@ -57,9 +71,10 @@ fn main() {
             eprintln!("--validate needs a file path");
             std::process::exit(2);
         });
+        let schema = if path.ends_with(".timing.json") { TIMING_SCHEMA } else { CELL_SCHEMA };
         match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
-            .and_then(|text| validate_cells(&text, CELL_SCHEMA))
+            .and_then(|text| validate_cells(&text, schema))
         {
             Ok(cells) => {
                 println!("{path}: OK ({cells} cells)");
@@ -88,10 +103,24 @@ fn main() {
                 std::process::exit(2);
             })
         });
+    let fuzz_dir = args
+        .iter()
+        .position(|a| a == "--fuzz-dir")
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--fuzz-dir needs a directory path");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "tests/golden/fuzz".to_string());
     let flags: Vec<&String> = args
         .iter()
         .filter(|a| {
-            a.starts_with("--") && *a != "--jobs" && *a != "--smoke" && *a != "--perf-baseline"
+            a.starts_with("--")
+                && *a != "--jobs"
+                && *a != "--smoke"
+                && *a != "--perf-baseline"
+                && *a != "--fuzz-dir"
         })
         .collect();
     let all = flags.is_empty() || flags.iter().any(|a| *a == "--all");
@@ -134,6 +163,13 @@ fn main() {
     if want("--obs") {
         obs();
     }
+    let want_fuzz = flags.iter().any(|a| *a == "--fuzz");
+    let mut fuzz_ok = true;
+    if want_fuzz {
+        let (cells, ok) = fuzz(jobs, smoke, &fuzz_dir);
+        write_artifact("BENCH_fuzz.json", &cells);
+        fuzz_ok = ok;
+    }
     if want("--perf") {
         let cells = perf(smoke);
         write_artifact("BENCH_perf.json", &cells);
@@ -146,26 +182,145 @@ fn main() {
     if !sweeps.is_empty() {
         write_artifact("BENCH_sweeps.json", &sweeps);
     }
+    if !fuzz_ok {
+        std::process::exit(1);
+    }
 }
 
 /// Writes a line-oriented JSON artifact (one cell per line), self-checking
 /// it against the standard cell schema first.
+///
+/// Wall times are split out of every cell (`report::split_timing`) into a
+/// `<stem>.timing.json` sidecar, so the canonical artifact is bit-identical
+/// across regenerations and machines; the sidecar is gitignored.
 fn write_artifact(path: &str, lines: &[Json]) {
     let mut out =
         String::from("# hybrid-wf sweep artifact: one JSON cell per line (see sched_sim::report)\n");
+    let mut timing = String::from(
+        "# hybrid-wf timing sidecar: nondeterministic wall times (gitignored; see sched_sim::report)\n",
+    );
+    let mut timed = 0usize;
     for line in lines {
-        out.push_str(&line.to_string());
+        let (canonical, t) = split_timing(line);
+        out.push_str(&canonical.to_string());
         out.push('\n');
+        if let Some(t) = t {
+            timing.push_str(&t.to_string());
+            timing.push('\n');
+            timed += 1;
+        }
     }
     let cells = validate_cells(&out, CELL_SCHEMA).expect("artifact failed self-validation");
     std::fs::write(path, out).expect("write artifact");
-    println!("  [artifact] wrote {path} ({cells} cells)\n");
+    let sidecar = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.timing.json"),
+        None => format!("{path}.timing.json"),
+    };
+    validate_cells(&timing, TIMING_SCHEMA).expect("timing sidecar failed self-validation");
+    std::fs::write(&sidecar, timing).expect("write timing sidecar");
+    println!("  [artifact] wrote {path} ({cells} cells; {timed} wall times → {sidecar})\n");
 }
 
 fn wall_ms(d: Duration) -> f64 {
     // Round to 1 µs so artifacts stay compact; wall time is metadata and
     // never part of a determinism comparison.
     (d.as_secs_f64() * 1e3 * 1e3).round() / 1e3
+}
+
+/// `--fuzz`: adversarial schedule fuzz with shrinking counterexamples.
+///
+/// Runs every `(family, Q)` spec from [`lowerbound::fuzz::case_specs`]
+/// under every hostile decider, checking the family's safety oracle on
+/// each seeded run, and compares the per-spec outcome against the paper's
+/// prediction: a violation at legal `Q` is a bug, and a quiet run where
+/// Theorem 3 predicts impossibility means the adversaries lost their
+/// teeth — both flip the returned flag to `false` (→ nonzero exit). The
+/// first violation of each violating spec is delta-debugged to a minimal
+/// script and written as a replayable artifact under `fuzz_dir`.
+fn fuzz(jobs: usize, smoke: bool, fuzz_dir: &str) -> (Vec<Json>, bool) {
+    // 8 seeds are enough for every Expect::Violation spec to fire (the
+    // deepest known witness sits at seed 5); the full run triples that.
+    let seeds: u64 = if smoke { 8 } else { 24 };
+    let specs = case_specs();
+    println!(
+        "── Adversarial schedule fuzz: {} specs × {} deciders × {seeds} seeds ({jobs} jobs) ──",
+        specs.len(),
+        DECIDERS.len()
+    );
+    let cells: Vec<(CaseSpec, &'static str)> =
+        specs.iter().flat_map(|s| DECIDERS.iter().map(|d| (*s, *d))).collect();
+    let reports = run_cells(&cells, jobs, |_, (spec, d)| fuzz_cell(spec, d, seeds));
+    let mut lines = Vec::new();
+    let mut ok = true;
+    println!("    family        Q  regime  expect      runs  violations  verdict");
+    for (si, spec) in specs.iter().enumerate() {
+        let group = &reports[si * DECIDERS.len()..(si + 1) * DECIDERS.len()];
+        let viol: u64 = group.iter().map(|r| r.violations).sum();
+        let runs: u64 = group.iter().map(|r| r.runs).sum();
+        let verdict = match (spec.expect, viol > 0) {
+            (Expect::Clean, true) => {
+                ok = false;
+                "BUG"
+            }
+            (Expect::Clean, false) => "clean",
+            (Expect::Violation, true) => "predicted",
+            (Expect::Violation, false) => {
+                ok = false;
+                "MISSING"
+            }
+            (Expect::Any, true) => "observed",
+            (Expect::Any, false) => "quiet",
+        };
+        println!(
+            "    {:<12} {:>4}  {:<6}  {:<9} {:>5} {:>11}  {verdict}",
+            spec.family.name(),
+            spec.q,
+            spec.regime,
+            spec.expect.name(),
+            runs,
+            viol,
+        );
+        for (di, rep) in group.iter().enumerate() {
+            lines.push(Json::obj([
+                ("kind", Json::from("fuzz")),
+                (
+                    "cell",
+                    Json::obj([
+                        ("family", Json::from(spec.family.name())),
+                        ("q", Json::from(spec.q)),
+                        ("regime", Json::from(spec.regime)),
+                        ("decider", Json::from(DECIDERS[di])),
+                        ("seeds", Json::from(seeds)),
+                    ]),
+                ),
+                ("steps", Json::from(rep.steps)),
+                ("wall_ms", Json::from(wall_ms(rep.wall))),
+                ("violations", Json::from(rep.violations)),
+                ("expect", Json::from(spec.expect.name())),
+                ("verdict", Json::from(verdict)),
+            ]));
+        }
+        if viol > 0 {
+            let (di, rep) = group
+                .iter()
+                .enumerate()
+                .find(|(_, r)| r.first.is_some())
+                .expect("violations imply a first violating run");
+            let first = rep.first.as_ref().expect("checked above");
+            let ce = shrink_and_capture(spec, DECIDERS[di], first.seed, &first.script);
+            std::fs::create_dir_all(fuzz_dir).expect("create fuzz artifact dir");
+            let path = format!("{}/{}", fuzz_dir.trim_end_matches('/'), ce.file_name());
+            std::fs::write(&path, ce.to_text()).expect("write fuzz artifact");
+            println!(
+                "      ↳ shrunk script {} → {} forced decisions ({}), artifact {path}",
+                first.script.len(),
+                ce.forced,
+                ce.verdict
+            );
+        }
+    }
+    println!();
+    (lines, ok)
 }
 
 fn lemma1() {
@@ -747,7 +902,13 @@ fn kind_rates(cells: &[Json]) -> Vec<(String, f64)> {
         let wall = match v.get("wall_ms") {
             Some(Json::Int(n)) => *n as f64,
             Some(Json::Float(f)) => *f,
-            _ => continue,
+            // Canonical artifacts carry no wall_ms (it lives in the timing
+            // sidecar); reconstruct the wall contribution from the cell's
+            // own pinned rate so committed baselines stay comparable.
+            _ => match v.get("steps_per_sec").and_then(Json::as_f64) {
+                Some(r) if r > 0.0 => steps as f64 / r * 1e3,
+                _ => continue,
+            },
         };
         match kinds.iter_mut().find(|(k, _, _)| *k == kind) {
             Some(e) => {
@@ -790,7 +951,15 @@ fn perf_gate(fresh: &[Json], base_path: &str) -> bool {
             ok = false;
             continue;
         };
-        let ratio = if *b > 0.0 { n / b } else { f64::INFINITY };
+        if *b <= 0.0 || *n <= 0.0 {
+            // A sub-µs wall time rounds to zero and would read as a total
+            // regression (rate 0); too small to rate either way, so skip.
+            println!(
+                "    {kind}: wall time too small to rate (fresh {n:.0}, baseline {b:.0} steps/s) — skipped"
+            );
+            continue;
+        }
+        let ratio = n / b;
         let verdict = if ratio >= 0.70 { "ok" } else { "REGRESSED" };
         println!("    {kind}: {n:.0} vs baseline {b:.0} steps/s ({ratio:.2}×) {verdict}");
         if ratio < 0.70 {

@@ -44,4 +44,5 @@
 
 pub mod adversary;
 pub mod fig6;
+pub mod fuzz;
 pub mod valency;

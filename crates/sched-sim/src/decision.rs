@@ -155,10 +155,19 @@ impl Decider for SeededRandom {
 
 /// Scripted decider: replays a fixed sequence of option indices.
 ///
-/// Used for regression tests and by the exhaustive explorer. Out-of-range
-/// entries are clamped; when the script is exhausted the fallback decider
-/// (round-robin) takes over, unless constructed [`Scripted::strict`] in
-/// which case exhaustion panics.
+/// Used for regression tests, by the exhaustive explorer, and by the fuzz
+/// shrinker. The two construction modes differ in how they treat a script
+/// that does not fit the run:
+///
+/// * [`Scripted::new`] (lenient) — out-of-range entries are clamped to the
+///   last option and the round-robin fallback takes over once the script is
+///   exhausted. This is what schedule *search* wants: any integer sequence
+///   denotes some complete run, so shrinking can mutate scripts freely.
+/// * [`Scripted::strict`] — an out-of-range entry **panics**, as does
+///   exhaustion. An out-of-range schedule is a bug in the decider (or a
+///   corrupted/stale capture), and silently replaying *some other* run
+///   would defeat the point of replay; trace replay
+///   ([`crate::obs::Trace::scripted`]) therefore uses strict mode.
 #[derive(Clone, Debug)]
 pub struct Scripted {
     script: Vec<usize>,
@@ -168,14 +177,15 @@ pub struct Scripted {
 }
 
 impl Scripted {
-    /// Creates a scripted decider that falls back to round-robin after the
-    /// script is exhausted.
+    /// Creates a lenient scripted decider: out-of-range entries clamp, and
+    /// round-robin takes over after the script is exhausted.
     pub fn new(script: Vec<usize>) -> Self {
         Scripted { script, pos: 0, strict: false, fallback: RoundRobin::new() }
     }
 
-    /// Creates a scripted decider that panics if a decision is requested
-    /// after the script is exhausted.
+    /// Creates a strict scripted decider that panics if a decision is
+    /// requested after the script is exhausted **or** a script entry is out
+    /// of range for its decision point.
     pub fn strict(script: Vec<usize>) -> Self {
         Scripted { script, pos: 0, strict: true, fallback: RoundRobin::new() }
     }
@@ -189,8 +199,19 @@ impl Scripted {
 impl Decider for Scripted {
     fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
         if self.pos < self.script.len() {
-            let c = self.script[self.pos].min(n - 1);
+            let c = self.script[self.pos];
             self.pos += 1;
+            if c >= n {
+                if self.strict {
+                    panic!(
+                        "scripted decider: entry {c} at position {} out of range for {} options ({:?})",
+                        self.pos - 1,
+                        n,
+                        choice.kind()
+                    );
+                }
+                return n - 1;
+            }
             c
         } else if self.strict {
             panic!("scripted decider exhausted at {} ({:?})", self.pos, choice.kind());
@@ -274,12 +295,25 @@ mod tests {
     }
 
     #[test]
-    fn scripted_clamps_out_of_range() {
+    fn lenient_scripted_clamps_out_of_range() {
         let mut d = Scripted::new(vec![99]);
         let opts = holder_opts();
         assert_eq!(
             d.choose(Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts }, 3),
             2
+        );
+    }
+
+    /// Regression: a strict script with an out-of-range entry must panic,
+    /// not silently clamp and replay some other run (replay integrity).
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn strict_scripted_panics_on_out_of_range() {
+        let mut d = Scripted::strict(vec![99]);
+        let opts = holder_opts();
+        let _ = d.choose(
+            Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts },
+            3,
         );
     }
 

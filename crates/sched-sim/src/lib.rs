@@ -29,6 +29,10 @@
 //! * [`sweep`] — fans independent runs over a pool of worker threads with
 //!   bit-identical parallel/serial output; [`report`] publishes sweep
 //!   results as line-oriented JSON.
+//! * [`fuzz`] — hostile deciders (preemption storms, the Appendix A
+//!   staggering adversary, fail-stop injection) plus a recording wrapper;
+//!   [`shrink`] delta-debugs a failing decision script to a minimal
+//!   replayable counterexample.
 //!
 //! # Quick example
 //!
@@ -59,6 +63,7 @@
 
 pub mod decision;
 pub mod explore;
+pub mod fuzz;
 pub mod history;
 pub mod ids;
 pub mod kernel;
@@ -68,11 +73,13 @@ pub mod program;
 pub mod report;
 pub mod rng;
 pub mod scenario;
+pub mod shrink;
 pub mod sweep;
 pub mod sym;
 pub mod trace;
 
 pub use decision::{Decider, RoundRobin, Scripted, SeededRandom};
+pub use fuzz::Recording;
 pub use ids::{ProcessId, ProcessorId, Priority};
 pub use kernel::{Kernel, SystemSpec};
 pub use machine::{StepCtx, StepMachine, StepOutcome};

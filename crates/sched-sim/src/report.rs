@@ -444,13 +444,48 @@ pub fn validate_cells(text: &str, required: &[(&str, Kind)]) -> Result<usize, St
 }
 
 /// The standard sweep-cell envelope every workspace artifact uses:
-/// `kind` (which sweep), `cell` (the grid parameters), `steps`, `wall_ms`.
+/// `kind` (which sweep), `cell` (the grid parameters), `steps`.
+///
+/// Deliberately **excludes** `wall_ms`: canonical artifacts carry only
+/// deterministic payloads, so regenerating an artifact on a faster or
+/// slower machine leaves the committed file byte-identical. Timing is
+/// published separately in a `*.timing.json` sidecar validated against
+/// [`TIMING_SCHEMA`] (see [`split_timing`]).
 pub const CELL_SCHEMA: &[(&str, Kind)] = &[
     ("kind", Kind::Str),
     ("cell", Kind::Obj),
     ("steps", Kind::Num),
+];
+
+/// The envelope of a `*.timing.json` sidecar line: the `kind` and `cell`
+/// identifying the sweep cell, plus its nondeterministic `wall_ms`.
+pub const TIMING_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
     ("wall_ms", Kind::Num),
 ];
+
+/// Splits a sweep cell into its canonical payload and its timing sidecar
+/// line: the returned first value is `cell` with every `wall_ms` key
+/// removed (key order otherwise preserved, so artifacts stay
+/// deterministic), and the second is a `{kind, cell, wall_ms}` object when
+/// the input carried a `wall_ms` (otherwise `None`).
+pub fn split_timing(cell: &Json) -> (Json, Option<Json>) {
+    let Json::Obj(pairs) = cell else {
+        return (cell.clone(), None);
+    };
+    let canonical = Json::Obj(
+        pairs.iter().filter(|(k, _)| k != "wall_ms").cloned().collect(),
+    );
+    let timing = cell.get("wall_ms").map(|w| {
+        Json::obj([
+            ("kind", cell.get("kind").cloned().unwrap_or(Json::Null)),
+            ("cell", cell.get("cell").cloned().unwrap_or(Json::Null)),
+            ("wall_ms", w.clone()),
+        ])
+    });
+    (canonical, timing)
+}
 
 #[cfg(test)]
 mod tests {
@@ -523,10 +558,29 @@ mod tests {
     }
 
     #[test]
+    fn split_timing_separates_wall_ms_from_canonical_payload() {
+        let cell = Json::parse(&cell_line("a")).unwrap();
+        let (canonical, timing) = split_timing(&cell);
+        assert_eq!(canonical.get("wall_ms"), None, "wall_ms must leave the canonical line");
+        assert_eq!(canonical.get("steps").and_then(Json::as_u64), Some(10));
+        let timing = timing.expect("cell had wall_ms");
+        assert_eq!(timing.get("wall_ms").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(timing.get("kind").and_then(Json::as_str), Some("a"));
+        assert!(matches!(timing.get("cell"), Some(Json::Obj(_))));
+        // Deterministic and idempotent: re-splitting the canonical line is a no-op.
+        let (again, none) = split_timing(&canonical);
+        assert_eq!(again, canonical);
+        assert!(none.is_none());
+        // Both halves validate against their schemas.
+        assert_eq!(validate_cells(&format!("{canonical}\n"), CELL_SCHEMA), Ok(1));
+        assert_eq!(validate_cells(&format!("{timing}\n"), TIMING_SCHEMA), Ok(1));
+    }
+
+    #[test]
     fn validator_rejects_missing_and_miskinded_keys() {
-        let missing = "{\"kind\":\"a\",\"cell\":{},\"steps\":1}\n";
+        let missing = "{\"kind\":\"a\",\"cell\":{}}\n";
         let err = validate_cells(missing, CELL_SCHEMA).unwrap_err();
-        assert!(err.contains("wall_ms"), "{err}");
+        assert!(err.contains("steps"), "{err}");
 
         let miskinded = "{\"kind\":1,\"cell\":{},\"steps\":1,\"wall_ms\":2}\n";
         let err = validate_cells(miskinded, CELL_SCHEMA).unwrap_err();

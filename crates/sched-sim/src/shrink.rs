@@ -1,0 +1,153 @@
+//! Delta-debugging of decision scripts: shrinks a failing schedule to a
+//! (locally) minimal counterexample.
+//!
+//! A fuzzing run that violates an oracle hands us a decision script — the
+//! complete schedule, often thousands of entries. [`shrink_script`] reduces
+//! it with the classic ddmin loop (remove chunks at halving granularity)
+//! followed by a pointwise pass that zeroes surviving entries, re-testing
+//! the predicate after every mutation. Candidates are replayed with the
+//! *lenient* [`crate::decision::Scripted`] mode, so any integer sequence
+//! denotes some complete run: removing a suffix simply hands control to the
+//! round-robin fallback, and zeroing an entry picks the first option. The
+//! caller is expected to canonicalize the survivor afterwards (re-record
+//! the effective decisions of a lenient replay) so the published artifact
+//! replays under strict mode.
+
+/// Result of shrinking a decision script.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The reduced script. Still satisfies the caller's failure predicate.
+    pub script: Vec<usize>,
+    /// How many candidate scripts the predicate was asked to evaluate.
+    pub candidates_tried: usize,
+}
+
+/// Upper bound on predicate evaluations per [`shrink_script`] call, so a
+/// pathological predicate (e.g. one driving a near-budget-length run per
+/// candidate) cannot stall the fuzzer.
+pub const MAX_SHRINK_CANDIDATES: usize = 10_000;
+
+/// Shrinks `script` while `still_fails` holds, returning a locally minimal
+/// failing script.
+///
+/// `still_fails` must return `true` for the input script (the caller just
+/// observed the failure); if it does not, the input is returned unchanged
+/// with `candidates_tried == 1`. The predicate should be deterministic —
+/// replay the candidate on a fresh kernel and report whether the original
+/// violation (or the original *absence* of one, for expected-impossibility
+/// probes) reproduces.
+pub fn shrink_script(
+    script: &[usize],
+    mut still_fails: impl FnMut(&[usize]) -> bool,
+) -> ShrinkOutcome {
+    let mut tried = 1;
+    if !still_fails(script) {
+        return ShrinkOutcome { script: script.to_vec(), candidates_tried: tried };
+    }
+    let mut cur: Vec<usize> = script.to_vec();
+
+    // Phase 1: ddmin — try removing contiguous chunks, halving the chunk
+    // size whenever a full sweep at the current granularity removes nothing.
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    while chunk >= 1 && !cur.is_empty() && tried < MAX_SHRINK_CANDIDATES {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() && tried < MAX_SHRINK_CANDIDATES {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            tried += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                removed_any = true;
+                // Re-test the same start offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        } else {
+            chunk = chunk.min(cur.len().max(1));
+        }
+    }
+
+    // Phase 2: pointwise simplification — set surviving entries to 0 (the
+    // first option), the scripted analogue of shrinking toward a simpler
+    // value.
+    let mut i = 0;
+    while i < cur.len() && tried < MAX_SHRINK_CANDIDATES {
+        if cur[i] != 0 {
+            let saved = cur[i];
+            cur[i] = 0;
+            tried += 1;
+            if !still_fails(&cur) {
+                cur[i] = saved;
+            }
+        }
+        i += 1;
+    }
+
+    ShrinkOutcome { script: cur, candidates_tried: tried }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_required_entry() {
+        // Failure iff the script contains a 7 anywhere.
+        let script: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6, 7, 8, 1, 2];
+        let out = shrink_script(&script, |s| s.contains(&7));
+        assert_eq!(out.script, vec![7]);
+    }
+
+    #[test]
+    fn zeroes_irrelevant_values() {
+        // Failure iff length >= 3 (values irrelevant).
+        let script: Vec<usize> = vec![5, 5, 5, 5, 5, 5];
+        let out = shrink_script(&script, |s| s.len() >= 3);
+        assert_eq!(out.script, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let script = vec![1, 2, 3];
+        let out = shrink_script(&script, |_| false);
+        assert_eq!(out.script, script);
+        assert_eq!(out.candidates_tried, 1);
+    }
+
+    #[test]
+    fn empty_failing_script_stays_empty() {
+        let out = shrink_script(&[], |_| true);
+        assert!(out.script.is_empty());
+    }
+
+    #[test]
+    fn respects_candidate_cap() {
+        // A predicate that only fails on the full script forces ddmin to try
+        // (and reject) many candidates; it must stop at the cap.
+        let script: Vec<usize> = (0..2_000).collect();
+        let full = script.clone();
+        let out = shrink_script(&script, |s| s == full.as_slice());
+        assert!(out.candidates_tried <= MAX_SHRINK_CANDIDATES + 1);
+        assert_eq!(out.script, full);
+    }
+
+    #[test]
+    fn shrinks_conjunction_of_two_distant_entries() {
+        // Needs both a 9 and a 4 — ddmin must keep two separated chunks.
+        let mut script = vec![0usize; 64];
+        script[5] = 9;
+        script[60] = 4;
+        let out = shrink_script(&script, |s| s.contains(&9) && s.contains(&4));
+        assert!(out.script.contains(&9) && out.script.contains(&4));
+        assert!(out.script.len() <= 4, "expected near-minimal, got {:?}", out.script);
+    }
+}

@@ -38,4 +38,19 @@ else
 fi
 target/release/experiments --validate "$smoke_dir/BENCH_perf.json"
 
+echo "== fuzz smoke (experiments --fuzz --smoke --jobs 2) + artifact validation =="
+# The adversarial schedule fuzzer over every algorithm family: exits
+# nonzero on an oracle violation at legal Q (a real bug) or on a missing
+# violation where Theorem 3 predicts impossibility. Counterexample
+# artifacts land in a scratch dir so the committed corpus under
+# tests/golden/fuzz/ is not clobbered. Set SKIP_FUZZ_GATE=1 to skip.
+if [[ -n "${SKIP_FUZZ_GATE:-}" ]]; then
+  echo "   skipped (SKIP_FUZZ_GATE set)"
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --fuzz --smoke --jobs 2 \
+      --fuzz-dir fuzz-artifacts > /dev/null)
+  target/release/experiments --validate "$smoke_dir/BENCH_fuzz.json"
+  target/release/experiments --validate "$smoke_dir/BENCH_fuzz.timing.json"
+fi
+
 echo "All checks passed."
