@@ -19,6 +19,17 @@
 //! * `--fuzz`      — adversarial schedule fuzz over every algorithm family
 //!                   → `BENCH_fuzz.json` (never part of the default `--all`
 //!                   run; must be requested explicitly)
+//! * `--profile`   — schedule profiler sweep over the central families
+//!                   → `BENCH_profile.json` + `profile_<family>.perfetto.json`
+//!                   timelines (like `--fuzz`, explicit-only)
+//!
+//! `--profile` runs Fig. 3 / Fig. 5 / universal / Fig. 7 at their legal
+//! quanta under storm and random deciders with a streaming profiler
+//! attached (`sched_sim::prof`), reporting quantum-window utilization,
+//! preemption counts, dispatch latency, and per-invocation step/retry
+//! histograms, merged per family. `--profile-trace FILE` instead profiles
+//! a committed `.trace` artifact offline and writes its Perfetto timeline
+//! next to the current directory.
 //!
 //! `--perf` accepts two modifiers: `--smoke` shrinks the workloads for CI,
 //! and `--perf-baseline FILE` compares the fresh rates against a committed
@@ -53,12 +64,18 @@ use hybrid_wf::universal::{op_machine as universal_machine, CounterSpec, Univers
 use lowerbound::adversary::{adversary_for_seed, fig7_scenario};
 use lowerbound::fig6;
 use lowerbound::fuzz::{case_specs, fuzz_cell, shrink_and_capture, CaseSpec, Expect, DECIDERS};
+use lowerbound::profile::{
+    family_timeline, n_seeds, profile_trace_text, report_lines, run_grid, FAMILIES,
+    PROFILE_DECIDERS,
+};
 use lowerbound::valency::{bivalent_chain_depth, bivalent_chain_probe};
 use sched_sim::decision::RoundRobin;
 use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
-use sched_sim::report::{split_timing, validate_cells, Json, CELL_SCHEMA, TIMING_SCHEMA};
+use sched_sim::report::{
+    split_timing, validate_cells, Json, CELL_SCHEMA, PROFILE_SCHEMA, TIMING_SCHEMA,
+};
 use sched_sim::scenario::{RunResult, Scenario};
 use sched_sim::sweep::{cross, default_jobs, run_cells};
 
@@ -71,13 +88,52 @@ fn main() {
             eprintln!("--validate needs a file path");
             std::process::exit(2);
         });
-        let schema = if path.ends_with(".timing.json") { TIMING_SCHEMA } else { CELL_SCHEMA };
+        let schema = if path.ends_with(".timing.json") {
+            TIMING_SCHEMA
+        } else if path.ends_with("profile.json") {
+            PROFILE_SCHEMA
+        } else {
+            CELL_SCHEMA
+        };
         match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|text| validate_cells(&text, schema))
         {
             Ok(cells) => {
                 println!("{path}: OK ({cells} cells)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Standalone offline profiling: `--profile-trace FILE` loads any
+    // serialized trace (e.g. a committed fuzz counterexample), prints its
+    // derived schedule metrics, and writes a Perfetto timeline next to the
+    // current directory.
+    if let Some(i) = args.iter().position(|a| a == "--profile-trace") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--profile-trace needs a file path");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        match profile_trace_text(&text) {
+            Ok((profile, perfetto)) => {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("trace");
+                let out = format!("{stem}.perfetto.json");
+                std::fs::write(&out, perfetto).expect("write perfetto export");
+                println!("{path}:");
+                println!("{}", indent(&profile.to_string(), "  "));
+                println!("  [timeline] wrote {out} (open in ui.perfetto.dev)");
                 return;
             }
             Err(e) => {
@@ -169,6 +225,13 @@ fn main() {
         let (cells, ok) = fuzz(jobs, smoke, &fuzz_dir);
         write_artifact("BENCH_fuzz.json", &cells);
         fuzz_ok = ok;
+    }
+    // Like --fuzz, the profiler sweep is explicit-only: it re-runs four
+    // full families and writes timeline artifacts, which the default
+    // `--all` report does not need.
+    if flags.iter().any(|a| *a == "--profile") {
+        let lines = profile_sweep(jobs, smoke);
+        write_artifact("BENCH_profile.json", &lines);
     }
     if want("--perf") {
         let cells = perf(smoke);
@@ -321,6 +384,66 @@ fn fuzz(jobs: usize, smoke: bool, fuzz_dir: &str) -> (Vec<Json>, bool) {
     }
     println!();
     (lines, ok)
+}
+
+/// `--profile`: the schedule profiler sweep (see `lowerbound::profile`).
+///
+/// Profiles the central algorithm families at legal quantum under storm
+/// and random deciders, prints the per-cell and per-family derived
+/// metrics, writes one Perfetto timeline artifact per family, and returns
+/// the JSONL lines for `BENCH_profile.json`.
+fn profile_sweep(jobs: usize, smoke: bool) -> Vec<Json> {
+    let seeds = n_seeds(smoke);
+    println!(
+        "── Schedule profiler: {} families × {} deciders × {seeds} seeds at legal Q ({jobs} jobs) ──",
+        FAMILIES.len(),
+        PROFILE_DECIDERS.len(),
+    );
+    let cells = run_grid(jobs, smoke);
+    let util = |u: Option<f64>| u.map_or("-".to_string(), |u| format!("{u:.3}"));
+    println!(
+        "    family       Q decider  seed     steps  windows   util  same  higher  retries"
+    );
+    for c in &cells {
+        println!(
+            "    {:<10} {:>3} {:<7} {:>5} {:>9} {:>8}  {:>5} {:>5} {:>7} {:>8}",
+            c.family.name(),
+            c.q,
+            c.decider,
+            c.seed,
+            c.steps,
+            c.profile.total_windows(),
+            util(c.profile.utilization()),
+            c.profile.total_preempt_same(),
+            c.profile.total_preempt_higher(),
+            c.profile.total_retries(),
+        );
+    }
+    for family in FAMILIES {
+        let fam: Vec<_> = cells.iter().filter(|c| c.family == family).collect();
+        let mut merged = sched_sim::prof::Profile::new();
+        for c in &fam {
+            merged.merge(&c.profile);
+        }
+        println!(
+            "  {} merged over {} runs: util {}, {} same / {} higher preemptions, \
+             {} retries over {} invocations",
+            family.name(),
+            fam.len(),
+            util(merged.utilization()),
+            merged.total_preempt_same(),
+            merged.total_preempt_higher(),
+            merged.total_retries(),
+            merged.total_invocations(),
+        );
+    }
+    for family in FAMILIES {
+        let path = format!("profile_{}.perfetto.json", family.name());
+        std::fs::write(&path, family_timeline(family)).expect("write perfetto timeline");
+        println!("  [timeline] wrote {path} (open in ui.perfetto.dev)");
+    }
+    println!();
+    report_lines(&cells)
 }
 
 fn lemma1() {

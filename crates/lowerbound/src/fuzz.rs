@@ -49,6 +49,7 @@ use sched_sim::fuzz::{hostile, Recording, HOSTILE_NAMES};
 use sched_sim::ids::{ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
 use sched_sim::obs::Trace;
+use sched_sim::prof::Profile;
 use sched_sim::scenario::{RunResult, Scenario};
 use sched_sim::shrink::shrink_script;
 
@@ -237,6 +238,11 @@ pub trait CaseEngine {
     /// Strict-replays `script` on the observed twin of the scenario,
     /// returning the run and its captured [`Trace`].
     fn capture(&self, script: &[usize]) -> (CaseRun, Trace);
+    /// Runs the scenario under `d` with a streaming profiler attached
+    /// ([`Scenario::with_prof`]), returning the run and its derived
+    /// schedule metrics. No event log is retained — memory stays
+    /// O(processes) even on budget-length runs.
+    fn run_profiled(&self, d: &mut dyn Decider) -> (CaseRun, Profile);
 }
 
 /// Builds the engine for `family` at quantum `q`.
@@ -516,6 +522,14 @@ impl<M: Clone> CaseEngine for TypedEngine<M> {
         let run = self.case_run(&r, script.to_vec());
         let trace = r.take_trace().expect("obs scenario records a trace");
         (run, trace)
+    }
+
+    fn run_profiled(&self, d: &mut dyn Decider) -> (CaseRun, Profile) {
+        let mut rec = Recording::new(d);
+        let mut r = self.plain.clone().with_prof().run(&mut rec);
+        let script = rec.into_script();
+        let profile = r.take_profile().expect("prof scenario streams a profile");
+        (self.case_run(&r, script), profile)
     }
 }
 

@@ -45,4 +45,5 @@
 pub mod adversary;
 pub mod fig6;
 pub mod fuzz;
+pub mod profile;
 pub mod valency;

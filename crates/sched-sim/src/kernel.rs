@@ -32,6 +32,7 @@ use crate::history::{Event, EventKind, History, ProcInfo, StmtEffect};
 use crate::ids::{ProcessId, ProcessorId, Priority};
 use crate::machine::{StepCtx, StepMachine, StepOutcome};
 use crate::obs::{DecisionKind, ObsCounters, ObsEvent, Trace, WindowCloseReason};
+use crate::prof::Profile;
 use crate::sym::{Interner, Sym};
 
 /// How a process's first quantum window is sized.
@@ -264,6 +265,9 @@ pub struct Kernel<M> {
     /// Attached observability trace ([`crate::obs`]); `None` means no
     /// event is ever constructed.
     obs: Option<Trace>,
+    /// Attached streaming profiler ([`crate::prof`]); like `obs`, `None`
+    /// means the step loop constructs no events on its account.
+    prof: Option<Profile>,
     /// Always-on aggregate scheduler counters.
     counters: ObsCounters,
     /// Last process to execute on each cpu, for dispatch events.
@@ -314,6 +318,7 @@ impl<M: Clone> Clone for Kernel<M> {
             history: Arc::clone(&self.history),
             ops: Arc::clone(&self.ops),
             obs: self.obs.clone(),
+            prof: self.prof.clone(),
             counters: self.counters,
             last_on_cpu: self.last_on_cpu.clone(),
             scratch_cpus: Vec::new(),
@@ -346,6 +351,7 @@ impl<M> Kernel<M> {
             }),
             ops: Arc::new(Vec::new()),
             obs: None,
+            prof: None,
             counters: ObsCounters::default(),
             last_on_cpu: Vec::new(),
             scratch_cpus: Vec::new(),
@@ -428,8 +434,8 @@ impl<M> Kernel<M> {
             self.refresh_proc_hash(pid.index());
         }
         self.counters.releases += 1;
-        if let Some(tr) = self.obs.as_mut() {
-            tr.record(ObsEvent::Release { t: self.clock, pid });
+        if self.observing() {
+            self.emit(ObsEvent::Release { t: self.clock, pid });
         }
         let p = &self.procs[pid.index()];
         if self.record_history {
@@ -500,6 +506,45 @@ impl<M> Kernel<M> {
     /// Detaches and returns the observability trace, if one was attached.
     pub fn take_obs(&mut self) -> Option<Trace> {
         self.obs.take()
+    }
+
+    /// Attaches a fresh streaming [`Profile`]: subsequent steps fold every
+    /// emitted event into derived metrics (see [`crate::prof`]). Unlike
+    /// [`Kernel::attach_obs`] no event log is retained, so memory stays
+    /// O(processes) regardless of run length. Replaces any previously
+    /// attached profile; with neither a trace nor a profile attached, the
+    /// kernel constructs no events at all.
+    pub fn attach_prof(&mut self) {
+        self.prof = Some(Profile::new());
+    }
+
+    /// The attached profile, if any.
+    pub fn prof(&self) -> Option<&Profile> {
+        self.prof.as_ref()
+    }
+
+    /// Detaches and returns the profile, if one was attached.
+    pub fn take_prof(&mut self) -> Option<Profile> {
+        self.prof.take()
+    }
+
+    /// Whether any event consumer (trace or profiler) is attached. The
+    /// step loop constructs [`ObsEvent`]s only when this holds, which is
+    /// what keeps the detached hot path allocation-free.
+    #[inline]
+    fn observing(&self) -> bool {
+        self.obs.is_some() || self.prof.is_some()
+    }
+
+    /// Routes one event to every attached consumer: the profiler folds it
+    /// by reference, then the trace stores it.
+    fn emit(&mut self, ev: ObsEvent) {
+        if let Some(p) = self.prof.as_mut() {
+            p.observe(&ev);
+        }
+        if let Some(tr) = self.obs.as_mut() {
+            tr.record(ev);
+        }
     }
 
     /// The run's aggregate scheduler counters (always maintained).
@@ -645,9 +690,9 @@ impl<M> Kernel<M> {
 
         // --- mutation phase ---
         self.counters.decisions += n_taken as u64;
-        if let Some(tr) = self.obs.as_mut() {
+        if self.observing() {
             for &(kind, arity, chosen) in &taken[..n_taken] {
-                tr.record(ObsEvent::Decision { kind, arity, chosen });
+                self.emit(ObsEvent::Decision { kind, arity, chosen });
             }
         }
         if let Some(credit) = new_window_credit {
@@ -661,8 +706,8 @@ impl<M> Kernel<M> {
                     if victim.status == Status::Ready && victim.mid_invocation {
                         victim.stats.quantum_preemptions += 1;
                         self.counters.same_prio_preemptions += 1;
-                        if let Some(tr) = self.obs.as_mut() {
-                            tr.record(ObsEvent::PreemptSame {
+                        if self.observing() {
+                            self.emit(ObsEvent::PreemptSame {
                                 t: self.clock,
                                 victim: w.holder,
                                 by: pid,
@@ -680,8 +725,8 @@ impl<M> Kernel<M> {
                 open: true,
             });
             self.counters.windows_opened += 1;
-            if let Some(tr) = self.obs.as_mut() {
-                tr.record(ObsEvent::WindowOpen { t: self.clock, cpu, prio, holder: pid, credit });
+            if self.observing() {
+                self.emit(ObsEvent::WindowOpen { t: self.clock, cpu, prio, holder: pid, credit });
             }
         }
 
@@ -689,8 +734,8 @@ impl<M> Kernel<M> {
         let idx = pid.index();
         if self.last_on_cpu[cpu.index()] != Some(pid) {
             self.last_on_cpu[cpu.index()] = Some(pid);
-            if let Some(tr) = self.obs.as_mut() {
-                tr.record(ObsEvent::Dispatch { t, pid, cpu, prio });
+            if self.observing() {
+                self.emit(ObsEvent::Dispatch { t, pid, cpu, prio });
             }
         }
         // Interleaving bookkeeping: mark every other mid-invocation process
@@ -720,8 +765,8 @@ impl<M> Kernel<M> {
             p.ever_dispatched = true;
             if higher_resume {
                 self.counters.higher_prio_preemptions += 1;
-                if let Some(tr) = self.obs.as_mut() {
-                    tr.record(ObsEvent::PreemptHigher { t, victim: pid });
+                if self.observing() {
+                    self.emit(ObsEvent::PreemptHigher { t, victim: pid });
                 }
             }
         }
@@ -729,9 +774,9 @@ impl<M> Kernel<M> {
         if !self.procs[idx].mid_invocation {
             // First statement of a new invocation.
             self.procs[idx].inv_start = t;
-            if let Some(tr) = self.obs.as_mut() {
+            if self.observing() {
                 let inv_index = self.procs[idx].stats.completed as u32;
-                tr.record(ObsEvent::InvStart { t, pid, inv_index });
+                self.emit(ObsEvent::InvStart { t, pid, inv_index });
             }
         }
         // Labels are interned into the history's symbol table while a
@@ -807,19 +852,20 @@ impl<M> Kernel<M> {
             };
             Arc::make_mut(&mut self.ops).push(rec);
         }
-        if self.obs.is_some() {
+        if self.observing() {
             let inv_index =
                 if effect != StmtEffect::Continue { self.procs[idx].machine_inv_index() } else { 0 };
-            let tr = self.obs.as_mut().expect("checked above");
-            tr.record(ObsEvent::Stmt { t, pid, cpu, prio, effect, label });
+            self.emit(ObsEvent::Stmt { t, pid, cpu, prio, effect, label });
             // Keep the trace's symbol table a superset of the labels it
             // holds, so a detached trace is always self-contained.
-            tr.syms.sync_from(&self.history.syms);
+            if let Some(tr) = self.obs.as_mut() {
+                tr.syms.sync_from(&self.history.syms);
+            }
             if effect != StmtEffect::Continue {
-                tr.record(ObsEvent::InvEnd { t, pid, inv_index, output });
+                self.emit(ObsEvent::InvEnd { t, pid, inv_index, output });
             }
             if let Some(reason) = close_reason {
-                tr.record(ObsEvent::WindowClose { t, cpu, prio, holder: pid, reason });
+                self.emit(ObsEvent::WindowClose { t, cpu, prio, holder: pid, reason });
             }
         }
         if self.record_history {

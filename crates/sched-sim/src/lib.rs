@@ -33,6 +33,9 @@
 //!   staggering adversary, fail-stop injection) plus a recording wrapper;
 //!   [`shrink`] delta-debugs a failing decision script to a minimal
 //!   replayable counterexample.
+//! * [`prof`] — streaming schedule profiler over the [`obs`] event
+//!   stream (window utilization, preemption/retry counts, log-bucketed
+//!   histograms) and a Chrome-trace/Perfetto timeline exporter.
 //!
 //! # Quick example
 //!
@@ -69,6 +72,7 @@ pub mod ids;
 pub mod kernel;
 pub mod machine;
 pub mod obs;
+pub mod prof;
 pub mod program;
 pub mod report;
 pub mod rng;
@@ -83,6 +87,7 @@ pub use fuzz::Recording;
 pub use ids::{ProcessId, ProcessorId, Priority};
 pub use kernel::{Kernel, SystemSpec};
 pub use machine::{StepCtx, StepMachine, StepOutcome};
+pub use prof::{Hist, Profile};
 pub use sym::{Interner, Sym};
 pub use scenario::{RunResult, Scenario};
 pub use sweep::{cross, default_jobs, run_cells};

@@ -1,0 +1,1230 @@
+//! Schedule profiler: derived metrics, log-bucketed histograms, and a
+//! Chrome Trace Format (Perfetto) exporter.
+//!
+//! The observability layer ([`crate::obs`]) captures *what happened* as a
+//! flat [`ObsEvent`] stream; this module folds that stream into the
+//! quantities the paper actually argues about:
+//!
+//! * **Quantum-window utilization** — Axiom 2 grants a window of `Q`
+//!   own-statements; the profiler sums, per process and per priority
+//!   level, how much of each closed window's credit was actually used
+//!   (a window closed by an invocation boundary leaves credit unused;
+//!   an [`WindowCloseReason::Expired`] window used all of it).
+//! * **Same- vs higher-priority preemption counts** — the two preemption
+//!   species Lemmas 2/3 bound, attributed to the victim.
+//! * **Dispatch latency** — statements elapsed between a process becoming
+//!   ready (arrival, release, or losing the processor after its last
+//!   statement) and its next dispatch: the scheduling delay a competing
+//!   process inflicts.
+//! * **Invocation step counts** — own-statements per completed object
+//!   invocation, the per-operation work term of the universal
+//!   constructions.
+//! * **Q-C&S retry counts** — preemptions suffered *mid-invocation* per
+//!   completed invocation. In the Anderson–Jain–Ott quantum-based
+//!   algorithms every preemption that lands inside a `Q-C&S` section
+//!   forces a retry, so this histogram is exactly the per-invocation
+//!   retry-count distribution those bounds are stated over.
+//!
+//! Distributions are kept in [`Hist`], an allocation-free log-bucketed
+//! histogram whose [`Hist::merge`] is commutative and associative, so a
+//! parallel sweep ([`crate::sweep::run_cells`]) can profile every cell
+//! independently and fold the results in cell order with a result that is
+//! bit-identical to the serial sweep.
+//!
+//! A profiler can be fed three ways:
+//!
+//! 1. **Live** — [`Kernel::attach_prof`](crate::kernel::Kernel::attach_prof)
+//!    streams every event into a [`Profile`] as it is emitted, with no
+//!    trace retained (O(processes) memory instead of O(events)).
+//! 2. **Offline** — [`Profile::from_trace`] folds a captured [`Trace`]
+//!    (including any committed `.trace` artifact reloaded via
+//!    [`Trace::from_text`]).
+//! 3. **Merged** — [`Profile::merge`] combines the profiles of many runs.
+//!
+//! Finally, [`chrome_trace_text`] renders any [`Trace`] as Chrome Trace
+//! Format JSON — one track group per processor, a span row per process
+//! for quantum windows and one for invocations, instants for preemptions
+//! and releases, and a scheduler track for decisions — which
+//! `ui.perfetto.dev` (or `chrome://tracing`) opens directly. One
+//! simulated statement maps to one microsecond of trace time.
+//!
+//! ```
+//! use sched_sim::ids::{Priority, ProcessorId};
+//! use sched_sim::kernel::SystemSpec;
+//! use sched_sim::machine::{FnMachine, StepOutcome};
+//! use sched_sim::prof::Profile;
+//! use sched_sim::scenario::Scenario;
+//!
+//! let mut s = Scenario::new(0u64, SystemSpec::hybrid(2).with_adversarial_alignment())
+//!     .with_obs()
+//!     .with_prof();
+//! for _ in 0..2 {
+//!     s.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+//!         |mem: &mut u64, calls| {
+//!             *mem += 1;
+//!             if calls == 5 { (StepOutcome::Finished, None) }
+//!             else { (StepOutcome::Continue, None) }
+//!         })));
+//! }
+//! let mut r = s.run_seeded(7);
+//! let live = r.take_profile().expect("prof attached");
+//! // The live profile and the offline fold of the captured trace agree.
+//! let offline = Profile::from_trace(&r.take_trace().expect("obs attached"));
+//! assert_eq!(live, offline);
+//! assert!(live.total_stmts() > 0);
+//! ```
+
+use std::fmt;
+
+use crate::ids::{ProcessId, ProcessorId, Priority};
+use crate::obs::{DecisionKind, ObsEvent, Trace, WindowCloseReason};
+use crate::report::Json;
+
+/// Number of histogram buckets: one for the value `0` plus one per bit
+/// length `1..=64`.
+const N_BUCKETS: usize = 65;
+
+/// An allocation-free log-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `b >= 1` holds the values of bit
+/// length `b`, i.e. the range `[2^(b-1), 2^b - 1]`. Alongside the bucket
+/// counts the exact `count`, `sum`, `min`, and `max` are maintained, so
+/// means are exact and only the shape of the distribution is quantized.
+///
+/// [`Hist::merge`] is commutative and associative (counts and sums add,
+/// extrema combine), which is what makes parallel sweep aggregation
+/// order-independent and therefore deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { counts: [0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// The bucket index of `v`: 0 for 0, else the bit length of `v`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The smallest value bucket `b` admits.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Commutative and associative.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any was recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any was recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of all samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The histogram as a JSON object: exact `count`/`sum`/`min`/`max`
+    /// plus the non-empty buckets as `[bucket_lower_bound, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                Json::Arr(vec![Json::Int(bucket_lo(b)), Json::Int(c)])
+            })
+            .collect();
+        Json::obj([
+            ("count", Json::Int(self.count)),
+            ("sum", Json::Int(self.sum)),
+            ("min", Json::Int(self.min().unwrap_or(0))),
+            ("max", Json::Int(self.max().unwrap_or(0))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// A one-line human summary, e.g. `n=20 mean=19.80 min=13 max=33`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            "n=0".to_string()
+        } else {
+            format!("n={} mean={:.2} min={} max={}", self.count, self.mean(), self.min, self.max)
+        }
+    }
+}
+
+/// Derived metrics for one process.
+///
+/// Window sums (`windows`, `window_credit`, `window_stmts`, `window_fill`)
+/// cover *closed* windows only; a window still open when the stream ends
+/// is not counted (its fill is unknowable).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcProfile {
+    /// Own statements executed.
+    pub stmts: u64,
+    /// Dispatches (the processor switched to this process).
+    pub dispatches: u64,
+    /// Releases from the held state.
+    pub releases: u64,
+    /// Quantum windows held to their close.
+    pub windows: u64,
+    /// Total credit (granted own-statements) over closed windows.
+    pub window_credit: u64,
+    /// Statements actually executed inside closed windows.
+    pub window_stmts: u64,
+    /// Quantum (same-priority) preemptions suffered.
+    pub preempt_same: u64,
+    /// Priority (higher-priority) preemption episodes suffered.
+    pub preempt_higher: u64,
+    /// Completed object invocations.
+    pub invocations: u64,
+    /// Statements from becoming ready to the next dispatch.
+    pub dispatch_latency: Hist,
+    /// Own statements per completed invocation.
+    pub inv_steps: Hist,
+    /// Mid-invocation preemptions per completed invocation — the Q-C&S
+    /// retry count (see the module docs).
+    pub inv_retries: Hist,
+    /// Statements executed per closed window (the numerator of
+    /// utilization, as a distribution).
+    pub window_fill: Hist,
+}
+
+impl ProcProfile {
+    /// `window_stmts / window_credit` over closed windows, or `None` if no
+    /// window closed.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.window_credit > 0).then(|| self.window_stmts as f64 / self.window_credit as f64)
+    }
+
+    /// Whether any event touched this process.
+    fn is_empty(&self) -> bool {
+        self.stmts == 0
+            && self.dispatches == 0
+            && self.releases == 0
+            && self.windows == 0
+            && self.preempt_same == 0
+            && self.preempt_higher == 0
+    }
+
+    fn merge(&mut self, other: &ProcProfile) {
+        self.stmts += other.stmts;
+        self.dispatches += other.dispatches;
+        self.releases += other.releases;
+        self.windows += other.windows;
+        self.window_credit += other.window_credit;
+        self.window_stmts += other.window_stmts;
+        self.preempt_same += other.preempt_same;
+        self.preempt_higher += other.preempt_higher;
+        self.invocations += other.invocations;
+        self.dispatch_latency.merge(&other.dispatch_latency);
+        self.inv_steps.merge(&other.inv_steps);
+        self.inv_retries.merge(&other.inv_retries);
+        self.window_fill.merge(&other.window_fill);
+    }
+}
+
+/// Derived metrics aggregated over one priority level (the paper's `1..V`,
+/// larger = higher).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrioProfile {
+    /// Statements executed at this level.
+    pub stmts: u64,
+    /// Quantum windows at this level held to their close.
+    pub windows: u64,
+    /// Total credit over those windows.
+    pub window_credit: u64,
+    /// Statements executed inside those windows.
+    pub window_stmts: u64,
+    /// Quantum preemptions whose victim ran at this level.
+    pub preempt_same: u64,
+    /// Priority-preemption episodes whose victim ran at this level.
+    pub preempt_higher: u64,
+    /// Invocations completed at this level.
+    pub invocations: u64,
+}
+
+impl PrioProfile {
+    /// `window_stmts / window_credit` over closed windows at this level.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.window_credit > 0).then(|| self.window_stmts as f64 / self.window_credit as f64)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.stmts == 0 && self.windows == 0 && self.preempt_same == 0 && self.preempt_higher == 0
+    }
+
+    fn merge(&mut self, other: &PrioProfile) {
+        self.stmts += other.stmts;
+        self.windows += other.windows;
+        self.window_credit += other.window_credit;
+        self.window_stmts += other.window_stmts;
+        self.preempt_same += other.preempt_same;
+        self.preempt_higher += other.preempt_higher;
+        self.invocations += other.invocations;
+    }
+}
+
+/// Transient per-process state of the streaming fold.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ProcState {
+    /// Statement time since which the process has been waiting for a
+    /// dispatch: 0 at arrival, `t` at a release, `t + 1` after its own
+    /// statement at `t`.
+    ready_since: u64,
+    /// Own statements in the current (incomplete) invocation.
+    inv_steps: u64,
+    /// Preemptions suffered during the current invocation.
+    inv_retries: u64,
+    /// Last priority this process was seen executing at, as a raw level.
+    prio: Option<u32>,
+}
+
+/// An open quantum window being tracked at one `(cpu, prio)` slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OpenWindow {
+    holder: ProcessId,
+    credit: u32,
+    stmts: u64,
+}
+
+fn dk_index(k: DecisionKind) -> usize {
+    match k {
+        DecisionKind::Cpu => 0,
+        DecisionKind::Holder => 1,
+        DecisionKind::FirstCredit => 2,
+    }
+}
+
+fn wc_index(r: WindowCloseReason) -> usize {
+    match r {
+        WindowCloseReason::InvocationEnd => 0,
+        WindowCloseReason::Finished => 1,
+        WindowCloseReason::Expired => 2,
+    }
+}
+
+/// A streaming schedule profiler: folds [`ObsEvent`]s into per-process and
+/// per-priority derived metrics (see the module docs for the catalogue).
+///
+/// Feed it live via [`Kernel::attach_prof`](crate::kernel::Kernel::attach_prof),
+/// offline via [`Profile::from_trace`], or event by event via
+/// [`Profile::observe`]. Profiles of *different runs* combine with
+/// [`Profile::merge`]; in-flight state (open windows, incomplete
+/// invocations) belongs to a single stream and is deliberately not merged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-process metrics, indexed by [`ProcessId::index`].
+    pub per_process: Vec<ProcProfile>,
+    /// Per-priority metrics, indexed by the raw priority level.
+    pub per_priority: Vec<PrioProfile>,
+    /// Decisions consulted, by kind: `[cpu, holder, first_credit]`.
+    decisions: [u64; 3],
+    /// Window closes, by reason: `[inv_end, finished, expired]`.
+    closes: [u64; 3],
+    /// Open-window slots, indexed `[cpu][prio]`.
+    open: Vec<Vec<Option<OpenWindow>>>,
+    /// Transient per-process fold state (parallel to `per_process`).
+    st: Vec<ProcState>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Folds an entire captured trace. The result equals a live profile
+    /// attached to the run that produced the trace.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut p = Profile::new();
+        for ev in &trace.events {
+            p.observe(ev);
+        }
+        p
+    }
+
+    fn ensure_proc(&mut self, pid: ProcessId) {
+        let n = pid.index() + 1;
+        if self.per_process.len() < n {
+            self.per_process.resize_with(n, ProcProfile::default);
+            self.st.resize_with(n, ProcState::default);
+        }
+    }
+
+    fn ensure_prio(&mut self, prio: Priority) {
+        let n = prio.index() + 1;
+        if self.per_priority.len() < n {
+            self.per_priority.resize_with(n, PrioProfile::default);
+        }
+    }
+
+    fn open_slot(&mut self, cpu: ProcessorId, prio: Priority) -> &mut Option<OpenWindow> {
+        let (c, p) = (cpu.index(), prio.index());
+        if self.open.len() <= c {
+            self.open.resize_with(c + 1, Vec::new);
+        }
+        if self.open[c].len() <= p {
+            self.open[c].resize_with(p + 1, || None);
+        }
+        &mut self.open[c][p]
+    }
+
+    /// Attributes one preemption of `victim` (already `ensure_proc`'d by
+    /// the caller) to its process, its priority level, and its current
+    /// invocation's retry count.
+    fn preempted(&mut self, victim: ProcessId, higher: bool) {
+        let i = victim.index();
+        if higher {
+            self.per_process[i].preempt_higher += 1;
+        } else {
+            self.per_process[i].preempt_same += 1;
+        }
+        self.st[i].inv_retries += 1;
+        if let Some(level) = self.st[i].prio {
+            self.ensure_prio(Priority(level));
+            let row = &mut self.per_priority[level as usize];
+            if higher {
+                row.preempt_higher += 1;
+            } else {
+                row.preempt_same += 1;
+            }
+        }
+    }
+
+    /// Folds one event into the profile. Events must arrive in stream
+    /// order (the order the kernel emits / a trace stores them).
+    pub fn observe(&mut self, ev: &ObsEvent) {
+        match *ev {
+            ObsEvent::Decision { kind, .. } => {
+                self.decisions[dk_index(kind)] += 1;
+            }
+            ObsEvent::Dispatch { t, pid, prio, .. } => {
+                self.ensure_proc(pid);
+                let i = pid.index();
+                self.per_process[i].dispatches += 1;
+                let lat = t.saturating_sub(self.st[i].ready_since);
+                self.per_process[i].dispatch_latency.record(lat);
+                self.st[i].prio = Some(prio.0);
+            }
+            ObsEvent::WindowOpen { cpu, prio, holder, credit, .. } => {
+                self.ensure_proc(holder);
+                *self.open_slot(cpu, prio) = Some(OpenWindow { holder, credit, stmts: 0 });
+            }
+            ObsEvent::WindowClose { cpu, prio, reason, .. } => {
+                self.closes[wc_index(reason)] += 1;
+                if let Some(w) = self.open_slot(cpu, prio).take() {
+                    self.ensure_proc(w.holder);
+                    self.ensure_prio(prio);
+                    let p = &mut self.per_process[w.holder.index()];
+                    p.windows += 1;
+                    p.window_credit += u64::from(w.credit);
+                    p.window_stmts += w.stmts;
+                    p.window_fill.record(w.stmts);
+                    let row = &mut self.per_priority[prio.index()];
+                    row.windows += 1;
+                    row.window_credit += u64::from(w.credit);
+                    row.window_stmts += w.stmts;
+                }
+            }
+            ObsEvent::PreemptSame { victim, .. } => {
+                self.ensure_proc(victim);
+                self.preempted(victim, false);
+            }
+            ObsEvent::PreemptHigher { victim, .. } => {
+                self.ensure_proc(victim);
+                self.preempted(victim, true);
+            }
+            ObsEvent::InvStart { pid, .. } => {
+                self.ensure_proc(pid);
+                let s = &mut self.st[pid.index()];
+                s.inv_steps = 0;
+                s.inv_retries = 0;
+            }
+            ObsEvent::InvEnd { pid, .. } => {
+                self.ensure_proc(pid);
+                let i = pid.index();
+                let (steps, retries) = (self.st[i].inv_steps, self.st[i].inv_retries);
+                let p = &mut self.per_process[i];
+                p.invocations += 1;
+                p.inv_steps.record(steps);
+                p.inv_retries.record(retries);
+                if let Some(level) = self.st[i].prio {
+                    self.ensure_prio(Priority(level));
+                    self.per_priority[level as usize].invocations += 1;
+                }
+            }
+            ObsEvent::Stmt { t, pid, cpu, prio, .. } => {
+                self.ensure_proc(pid);
+                self.ensure_prio(prio);
+                let i = pid.index();
+                self.per_process[i].stmts += 1;
+                self.per_priority[prio.index()].stmts += 1;
+                self.st[i].prio = Some(prio.0);
+                self.st[i].inv_steps += 1;
+                self.st[i].ready_since = t + 1;
+                if let Some(w) = self.open_slot(cpu, prio).as_mut() {
+                    if w.holder == pid {
+                        w.stmts += 1;
+                    }
+                }
+            }
+            ObsEvent::Release { t, pid } => {
+                self.ensure_proc(pid);
+                self.per_process[pid.index()].releases += 1;
+                self.st[pid.index()].ready_since = t;
+            }
+        }
+    }
+
+    /// Folds the completed-run metrics of `other` into `self`. Commutative
+    /// up to the lengths of the per-process/per-priority tables (missing
+    /// rows are zero), so folding sweep cells in any fixed order is
+    /// deterministic. In-flight state is not merged.
+    pub fn merge(&mut self, other: &Profile) {
+        if self.per_process.len() < other.per_process.len() {
+            self.per_process.resize_with(other.per_process.len(), ProcProfile::default);
+            self.st.resize_with(other.per_process.len(), ProcState::default);
+        }
+        for (a, b) in self.per_process.iter_mut().zip(other.per_process.iter()) {
+            a.merge(b);
+        }
+        if self.per_priority.len() < other.per_priority.len() {
+            self.per_priority.resize_with(other.per_priority.len(), PrioProfile::default);
+        }
+        for (a, b) in self.per_priority.iter_mut().zip(other.per_priority.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.decisions.iter_mut().zip(other.decisions.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.closes.iter_mut().zip(other.closes.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total statements across all processes.
+    pub fn total_stmts(&self) -> u64 {
+        self.per_process.iter().map(|p| p.stmts).sum()
+    }
+
+    /// Total completed invocations.
+    pub fn total_invocations(&self) -> u64 {
+        self.per_process.iter().map(|p| p.invocations).sum()
+    }
+
+    /// Total closed quantum windows.
+    pub fn total_windows(&self) -> u64 {
+        self.per_process.iter().map(|p| p.windows).sum()
+    }
+
+    /// Total same-priority (quantum) preemptions.
+    pub fn total_preempt_same(&self) -> u64 {
+        self.per_process.iter().map(|p| p.preempt_same).sum()
+    }
+
+    /// Total higher-priority preemption episodes.
+    pub fn total_preempt_higher(&self) -> u64 {
+        self.per_process.iter().map(|p| p.preempt_higher).sum()
+    }
+
+    /// Total scheduling decisions consulted.
+    pub fn total_decisions(&self) -> u64 {
+        self.decisions.iter().sum()
+    }
+
+    /// Total mid-invocation preemptions (Q-C&S retries) over completed
+    /// invocations.
+    pub fn total_retries(&self) -> u64 {
+        self.per_process.iter().map(|p| p.inv_retries.sum()).sum()
+    }
+
+    /// Window closes by [`WindowCloseReason::Expired`] — quantum expiries.
+    pub fn total_expiries(&self) -> u64 {
+        self.closes[2]
+    }
+
+    /// Aggregate utilization `window_stmts / window_credit` over every
+    /// closed window.
+    pub fn utilization(&self) -> Option<f64> {
+        let credit: u64 = self.per_process.iter().map(|p| p.window_credit).sum();
+        let stmts: u64 = self.per_process.iter().map(|p| p.window_stmts).sum();
+        (credit > 0).then(|| stmts as f64 / credit as f64)
+    }
+
+    /// Compact scalar metrics (no histograms) — the per-sweep-cell form.
+    pub fn scalar_json(&self) -> Json {
+        Json::obj([
+            ("stmts", Json::Int(self.total_stmts())),
+            ("invocations", Json::Int(self.total_invocations())),
+            ("windows", Json::Int(self.total_windows())),
+            ("utilization", ratio_json(self.utilization())),
+            ("preempt_same", Json::Int(self.total_preempt_same())),
+            ("preempt_higher", Json::Int(self.total_preempt_higher())),
+            ("retries", Json::Int(self.total_retries())),
+            ("expiries", Json::Int(self.total_expiries())),
+            ("decisions", Json::Int(self.total_decisions())),
+        ])
+    }
+
+    /// Full metrics: the scalar totals plus decision/close breakdowns and
+    /// the per-priority and per-process tables with histograms.
+    pub fn metrics_json(&self) -> Json {
+        let per_priority: Vec<Json> = self
+            .per_priority
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(level, row)| {
+                Json::obj([
+                    ("prio", Json::Int(level as u64)),
+                    ("stmts", Json::Int(row.stmts)),
+                    ("windows", Json::Int(row.windows)),
+                    ("window_stmts", Json::Int(row.window_stmts)),
+                    ("window_credit", Json::Int(row.window_credit)),
+                    ("utilization", ratio_json(row.utilization())),
+                    ("preempt_same", Json::Int(row.preempt_same)),
+                    ("preempt_higher", Json::Int(row.preempt_higher)),
+                    ("invocations", Json::Int(row.invocations)),
+                ])
+            })
+            .collect();
+        let per_process: Vec<Json> = self
+            .per_process
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, p)| {
+                Json::obj([
+                    ("pid", Json::Int(i as u64)),
+                    ("stmts", Json::Int(p.stmts)),
+                    ("dispatches", Json::Int(p.dispatches)),
+                    ("releases", Json::Int(p.releases)),
+                    ("windows", Json::Int(p.windows)),
+                    ("window_stmts", Json::Int(p.window_stmts)),
+                    ("window_credit", Json::Int(p.window_credit)),
+                    ("utilization", ratio_json(p.utilization())),
+                    ("preempt_same", Json::Int(p.preempt_same)),
+                    ("preempt_higher", Json::Int(p.preempt_higher)),
+                    ("invocations", Json::Int(p.invocations)),
+                    ("dispatch_latency", p.dispatch_latency.to_json()),
+                    ("inv_steps", p.inv_steps.to_json()),
+                    ("inv_retries", p.inv_retries.to_json()),
+                    ("window_fill", p.window_fill.to_json()),
+                ])
+            })
+            .collect();
+        let mut obj = match self.scalar_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("scalar_json returns an object"),
+        };
+        obj.push((
+            "decisions_by_kind".to_string(),
+            Json::obj([
+                ("cpu", Json::Int(self.decisions[0])),
+                ("holder", Json::Int(self.decisions[1])),
+                ("first_credit", Json::Int(self.decisions[2])),
+            ]),
+        ));
+        obj.push((
+            "window_closes".to_string(),
+            Json::obj([
+                ("inv_end", Json::Int(self.closes[0])),
+                ("finished", Json::Int(self.closes[1])),
+                ("expired", Json::Int(self.closes[2])),
+            ]),
+        ));
+        obj.push(("per_priority".to_string(), Json::Arr(per_priority)));
+        obj.push(("per_process".to_string(), Json::Arr(per_process)));
+        Json::Obj(obj)
+    }
+}
+
+/// A ratio rounded to 3 decimals (so formatting is stable), `null` when
+/// undefined.
+fn ratio_json(r: Option<f64>) -> Json {
+    match r {
+        Some(v) => Json::Float((v * 1000.0).round() / 1000.0),
+        None => Json::Null,
+    }
+}
+
+fn fmt_ratio(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{:.3}", v),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for Profile {
+    /// A deterministic human summary: totals, then the non-empty priority
+    /// levels, then the non-empty processes with histogram digests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile: {} stmts, {} invocations, {} windows, utilization {}",
+            self.total_stmts(),
+            self.total_invocations(),
+            self.total_windows(),
+            fmt_ratio(self.utilization()),
+        )?;
+        writeln!(
+            f,
+            "  preemptions: {} same-priority, {} higher-priority; retries {}; \
+             decisions: {} cpu, {} holder, {} first-credit",
+            self.total_preempt_same(),
+            self.total_preempt_higher(),
+            self.total_retries(),
+            self.decisions[0],
+            self.decisions[1],
+            self.decisions[2],
+        )?;
+        writeln!(
+            f,
+            "  window closes: {} inv-end, {} finished, {} expired",
+            self.closes[0], self.closes[1], self.closes[2],
+        )?;
+        for (level, row) in self.per_priority.iter().enumerate() {
+            if row.is_empty() {
+                continue;
+            }
+            writeln!(
+                f,
+                "  prio{level}: {} stmts, {} windows, util {}, {} same / {} higher \
+                 preemptions, {} inv",
+                row.stmts,
+                row.windows,
+                fmt_ratio(row.utilization()),
+                row.preempt_same,
+                row.preempt_higher,
+                row.invocations,
+            )?;
+        }
+        for (i, p) in self.per_process.iter().enumerate() {
+            if p.is_empty() {
+                continue;
+            }
+            writeln!(
+                f,
+                "  p{i}: {} stmts, {} inv, util {}, {} same / {} higher preemptions; \
+                 inv-steps [{}], retries [{}], dispatch-latency [{}]",
+                p.stmts,
+                p.invocations,
+                fmt_ratio(p.utilization()),
+                p.preempt_same,
+                p.preempt_higher,
+                p.inv_steps.summary(),
+                p.inv_retries.summary(),
+                p.dispatch_latency.summary(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Format / Perfetto export
+// ---------------------------------------------------------------------------
+
+/// The statement time of an event, if it carries one (decisions do not).
+fn event_time(ev: &ObsEvent) -> Option<u64> {
+    match *ev {
+        ObsEvent::Decision { .. } => None,
+        ObsEvent::Dispatch { t, .. }
+        | ObsEvent::WindowOpen { t, .. }
+        | ObsEvent::WindowClose { t, .. }
+        | ObsEvent::PreemptSame { t, .. }
+        | ObsEvent::PreemptHigher { t, .. }
+        | ObsEvent::InvStart { t, .. }
+        | ObsEvent::InvEnd { t, .. }
+        | ObsEvent::Stmt { t, .. }
+        | ObsEvent::Release { t, .. } => Some(t),
+    }
+}
+
+/// The processor an event names, if any.
+fn event_cpu_pid(ev: &ObsEvent) -> Option<(ProcessorId, ProcessId)> {
+    match *ev {
+        ObsEvent::Dispatch { pid, cpu, .. } | ObsEvent::Stmt { pid, cpu, .. } => Some((cpu, pid)),
+        ObsEvent::WindowOpen { cpu, holder, .. } | ObsEvent::WindowClose { cpu, holder, .. } => {
+            Some((cpu, holder))
+        }
+        _ => None,
+    }
+}
+
+/// The per-process track pair inside a processor's track group: even tids
+/// carry invocation spans and preemption/release instants, odd tids carry
+/// quantum-window spans.
+fn ops_tid(pid: ProcessId) -> u64 {
+    2 * pid.index() as u64
+}
+fn win_tid(pid: ProcessId) -> u64 {
+    ops_tid(pid) + 1
+}
+
+/// One Chrome-trace event object with the fields in canonical order.
+struct ChromeEvent {
+    name: String,
+    ph: &'static str,
+    pid: u64,
+    tid: u64,
+    ts: u64,
+    dur: Option<u64>,
+    scoped: bool,
+    args: Vec<(&'static str, Json)>,
+}
+
+impl ChromeEvent {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("ph".to_string(), Json::Str(self.ph.to_string())),
+            ("pid".to_string(), Json::Int(self.pid)),
+            ("tid".to_string(), Json::Int(self.tid)),
+            ("ts".to_string(), Json::Int(self.ts)),
+        ];
+        if let Some(d) = self.dur {
+            pairs.push(("dur".to_string(), Json::Int(d)));
+        }
+        if self.scoped {
+            pairs.push(("s".to_string(), Json::Str("t".to_string())));
+        }
+        if !self.args.is_empty() {
+            pairs.push((
+                "args".to_string(),
+                Json::Obj(self.args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Renders a captured [`Trace`] as Chrome Trace Format JSON, loadable by
+/// `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Track layout (one simulated statement = 1 µs of trace time):
+///
+/// * one track **group per processor** (Chrome "process" `cpuN`);
+/// * inside it, **two rows per simulated process**: `pK ops` with one
+///   span per object invocation plus instants for quantum preemptions
+///   (`preempt-same`), priority-preemption resumes (`preempt-higher`),
+///   and releases, and `pK windows` with one span per Axiom 2 quantum
+///   window (args carry the granted credit and the close reason);
+/// * a final **`scheduler` group** with one instant per consulted
+///   decision. Decisions are recorded before the statement they gate and
+///   carry no time of their own, so each is stamped with the time of the
+///   next timed event.
+///
+/// Windows and invocations still open when the trace ends (for example in
+/// a truncated or budget-exhausted fuzz capture) are emitted as spans
+/// running to the end of the trace with `"open": true` in their args.
+///
+/// The output is deterministic: one event per line, keys in fixed order —
+/// suitable for byte-for-byte golden pinning.
+pub fn chrome_trace_text(trace: &Trace) -> String {
+    let events = &trace.events;
+    // Pass 1: discover processors and processes (first-seen processor
+    // wins; processes are pinned, so there is only one), the end of time,
+    // and the timestamp to assign each (timeless) decision: the time of
+    // the next timed event after it.
+    let mut proc_cpu: Vec<Option<ProcessorId>> = Vec::new();
+    let mut n_cpus: usize = 0;
+    let mut last_t: u64 = 0;
+    for ev in events {
+        if let Some((cpu, pid)) = event_cpu_pid(ev) {
+            n_cpus = n_cpus.max(cpu.index() + 1);
+            if proc_cpu.len() <= pid.index() {
+                proc_cpu.resize(pid.index() + 1, None);
+            }
+            if proc_cpu[pid.index()].is_none() {
+                proc_cpu[pid.index()] = Some(cpu);
+            }
+        }
+        if let Some(t) = event_time(ev) {
+            last_t = last_t.max(t);
+        }
+    }
+    let mut decision_ts: Vec<u64> = vec![last_t; events.len()];
+    let mut next_t = last_t;
+    for (i, ev) in events.iter().enumerate().rev() {
+        if let Some(t) = event_time(ev) {
+            next_t = t;
+        }
+        decision_ts[i] = next_t;
+    }
+    let sched_pid = n_cpus as u64;
+    let has_decisions = events.iter().any(|e| matches!(e, ObsEvent::Decision { .. }));
+
+    let mut out: Vec<ChromeEvent> = Vec::new();
+    // Metadata: name every track group and row, in (pid, tid) order.
+    for c in 0..n_cpus {
+        out.push(ChromeEvent {
+            name: "process_name".to_string(),
+            ph: "M",
+            pid: c as u64,
+            tid: 0,
+            ts: 0,
+            dur: None,
+            scoped: false,
+            args: vec![("name", Json::Str(format!("cpu{c}")))],
+        });
+    }
+    for (i, cpu) in proc_cpu.iter().enumerate() {
+        let Some(cpu) = cpu else { continue };
+        let pid = ProcessId(i as u32);
+        for (tid, kind) in [(ops_tid(pid), "ops"), (win_tid(pid), "windows")] {
+            out.push(ChromeEvent {
+                name: "thread_name".to_string(),
+                ph: "M",
+                pid: cpu.index() as u64,
+                tid,
+                ts: 0,
+                dur: None,
+                scoped: false,
+                args: vec![("name", Json::Str(format!("p{i} {kind}")))],
+            });
+        }
+    }
+    if has_decisions {
+        out.push(ChromeEvent {
+            name: "process_name".to_string(),
+            ph: "M",
+            pid: sched_pid,
+            tid: 0,
+            ts: 0,
+            dur: None,
+            scoped: false,
+            args: vec![("name", Json::Str("scheduler".to_string()))],
+        });
+        out.push(ChromeEvent {
+            name: "thread_name".to_string(),
+            ph: "M",
+            pid: sched_pid,
+            tid: 0,
+            ts: 0,
+            dur: None,
+            scoped: false,
+            args: vec![("name", Json::Str("decisions".to_string()))],
+        });
+    }
+
+    // Pass 2: spans and instants, in stream order (spans at close time).
+    let cpu_of = |pid: ProcessId| -> u64 {
+        proc_cpu
+            .get(pid.index())
+            .copied()
+            .flatten()
+            .map_or(0, |c| c.index() as u64)
+    };
+    let mut open_windows: Vec<(ProcessorId, Priority, u64, ProcessId, u32)> = Vec::new();
+    let mut open_invs: Vec<(ProcessId, u64, u32)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            ObsEvent::Decision { kind, arity, chosen } => {
+                out.push(ChromeEvent {
+                    name: kind.tag().to_string(),
+                    ph: "i",
+                    pid: sched_pid,
+                    tid: 0,
+                    ts: decision_ts[i],
+                    dur: None,
+                    scoped: true,
+                    args: vec![
+                        ("arity", Json::Int(arity as u64)),
+                        ("chosen", Json::Int(chosen as u64)),
+                    ],
+                });
+            }
+            ObsEvent::WindowOpen { t, cpu, prio, holder, credit } => {
+                open_windows.retain(|&(c, p, ..)| !(c == cpu && p == prio));
+                open_windows.push((cpu, prio, t, holder, credit));
+            }
+            ObsEvent::WindowClose { t, cpu, prio, holder, reason } => {
+                let Some(pos) =
+                    open_windows.iter().position(|&(c, p, ..)| c == cpu && p == prio)
+                else {
+                    continue;
+                };
+                let (.., open_t, _, credit) = open_windows.remove(pos);
+                out.push(ChromeEvent {
+                    name: format!("window prio{}", prio.0),
+                    ph: "X",
+                    pid: cpu.index() as u64,
+                    tid: win_tid(holder),
+                    ts: open_t,
+                    dur: Some(t - open_t + 1),
+                    scoped: false,
+                    args: vec![
+                        ("credit", Json::Int(u64::from(credit))),
+                        ("close", Json::Str(chrome_close_tag(reason).to_string())),
+                    ],
+                });
+            }
+            ObsEvent::PreemptSame { t, victim, by } => {
+                out.push(ChromeEvent {
+                    name: "preempt-same".to_string(),
+                    ph: "i",
+                    pid: cpu_of(victim),
+                    tid: ops_tid(victim),
+                    ts: t,
+                    dur: None,
+                    scoped: true,
+                    args: vec![("by", Json::Int(by.index() as u64))],
+                });
+            }
+            ObsEvent::PreemptHigher { t, victim } => {
+                out.push(ChromeEvent {
+                    name: "preempt-higher".to_string(),
+                    ph: "i",
+                    pid: cpu_of(victim),
+                    tid: ops_tid(victim),
+                    ts: t,
+                    dur: None,
+                    scoped: true,
+                    args: vec![],
+                });
+            }
+            ObsEvent::InvStart { t, pid, inv_index } => {
+                open_invs.retain(|&(p, ..)| p != pid);
+                open_invs.push((pid, t, inv_index));
+            }
+            ObsEvent::InvEnd { t, pid, inv_index, output } => {
+                let Some(pos) = open_invs.iter().position(|&(p, ..)| p == pid) else {
+                    continue;
+                };
+                let (_, start_t, _) = open_invs.remove(pos);
+                out.push(ChromeEvent {
+                    name: format!("inv {inv_index}"),
+                    ph: "X",
+                    pid: cpu_of(pid),
+                    tid: ops_tid(pid),
+                    ts: start_t,
+                    dur: Some(t - start_t + 1),
+                    scoped: false,
+                    args: vec![(
+                        "output",
+                        output.map_or(Json::Null, Json::Int),
+                    )],
+                });
+            }
+            ObsEvent::Release { t, pid } => {
+                out.push(ChromeEvent {
+                    name: "release".to_string(),
+                    ph: "i",
+                    pid: cpu_of(pid),
+                    tid: ops_tid(pid),
+                    ts: t,
+                    dur: None,
+                    scoped: true,
+                    args: vec![],
+                });
+            }
+            ObsEvent::Dispatch { .. } | ObsEvent::Stmt { .. } => {}
+        }
+    }
+    // Anything still open runs to the end of the trace.
+    for &(cpu, prio, open_t, holder, credit) in &open_windows {
+        out.push(ChromeEvent {
+            name: format!("window prio{}", prio.0),
+            ph: "X",
+            pid: cpu.index() as u64,
+            tid: win_tid(holder),
+            ts: open_t,
+            dur: Some(last_t + 1 - open_t),
+            scoped: false,
+            args: vec![
+                ("credit", Json::Int(u64::from(credit))),
+                ("open", Json::Bool(true)),
+            ],
+        });
+    }
+    for &(pid, start_t, inv_index) in &open_invs {
+        out.push(ChromeEvent {
+            name: format!("inv {inv_index}"),
+            ph: "X",
+            pid: cpu_of(pid),
+            tid: ops_tid(pid),
+            ts: start_t,
+            dur: Some(last_t + 1 - start_t),
+            scoped: false,
+            args: vec![("open", Json::Bool(true))],
+        });
+    }
+
+    let mut text = String::new();
+    text.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, ev) in out.iter().enumerate() {
+        text.push_str(&ev.to_json().to_string());
+        if i + 1 < out.len() {
+            text.push(',');
+        }
+        text.push('\n');
+    }
+    text.push_str("]}\n");
+    text
+}
+
+fn chrome_close_tag(reason: WindowCloseReason) -> &'static str {
+    match reason {
+        WindowCloseReason::InvocationEnd => "inv-end",
+        WindowCloseReason::Finished => "finished",
+        WindowCloseReason::Expired => "expired",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_and_stats() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 1026);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        // 0 -> bucket 0; 1,1 -> bucket 1; 2,3 -> bucket 2; 4,7 -> bucket 3;
+        // 8 -> bucket 4; 1000 -> bucket 10.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 2);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[10], 1);
+    }
+
+    #[test]
+    fn hist_merge_is_commutative() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [0u64, 2, 1 << 40] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.min(), Some(0));
+        assert_eq!(ab.max(), Some(1 << 40));
+    }
+
+    #[test]
+    fn empty_hist_json_is_stable() {
+        let h = Hist::new();
+        assert_eq!(
+            h.to_json().to_string(),
+            r#"{"count":0,"sum":0,"min":0,"max":0,"buckets":[]}"#
+        );
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn profile_merge_matches_combined_stream() {
+        use crate::ids::{Priority, ProcessorId};
+        use crate::kernel::SystemSpec;
+        use crate::machine::{FnMachine, StepOutcome};
+        use crate::scenario::Scenario;
+
+        let run = |seed: u64| {
+            let mut s = Scenario::new(
+                0u64,
+                SystemSpec::hybrid(3).with_adversarial_alignment(),
+            )
+            .with_prof();
+            for _ in 0..3 {
+                s.add_process(
+                    ProcessorId(0),
+                    Priority(1),
+                    Box::new(FnMachine::new(|mem: &mut u64, calls| {
+                        *mem += 1;
+                        if calls == 7 {
+                            (StepOutcome::Finished, None)
+                        } else {
+                            (StepOutcome::Continue, None)
+                        }
+                    })),
+                );
+            }
+            s.run_seeded(seed).take_profile().expect("prof attached")
+        };
+        let (a, b) = (run(1), run(2));
+        let mut m1 = a.clone();
+        m1.merge(&b);
+        let mut m2 = b.clone();
+        m2.merge(&a);
+        // Same scalar totals either way (full Eq would compare transient
+        // fold state, which merge deliberately leaves alone).
+        assert_eq!(m1.scalar_json(), m2.scalar_json());
+        assert_eq!(m1.metrics_json(), m2.metrics_json());
+        assert_eq!(m1.total_stmts(), a.total_stmts() + b.total_stmts());
+    }
+}

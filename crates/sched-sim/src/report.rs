@@ -457,6 +457,18 @@ pub const CELL_SCHEMA: &[(&str, Kind)] = &[
     ("steps", Kind::Num),
 ];
 
+/// The envelope of a profiler report line (`BENCH_profile.json`): the
+/// standard [`CELL_SCHEMA`] plus a `metrics` object holding the derived
+/// schedule metrics of [`crate::prof::Profile`] (scalar totals on per-cell
+/// lines; full per-process/per-priority tables with histograms on
+/// per-family summary lines).
+pub const PROFILE_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
+    ("steps", Kind::Num),
+    ("metrics", Kind::Obj),
+];
+
 /// The envelope of a `*.timing.json` sidecar line: the `kind` and `cell`
 /// identifying the sweep cell, plus its nondeterministic `wall_ms`.
 pub const TIMING_SCHEMA: &[(&str, Kind)] = &[

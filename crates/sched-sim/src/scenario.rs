@@ -55,6 +55,7 @@ use crate::ids::{ProcessId, ProcessorId, Priority};
 use crate::kernel::{Kernel, OpRecord, ProcStats, SystemSpec};
 use crate::machine::StepMachine;
 use crate::obs::{ObsCounters, Trace};
+use crate::prof::Profile;
 
 /// Default run-to-completion step budget: generous enough for every
 /// workload in this workspace (the largest adversarial Fig. 7 grids finish
@@ -86,6 +87,7 @@ pub struct Scenario<M> {
     mem: M,
     procs: Vec<ProcSpec<M>>,
     obs: bool,
+    prof: bool,
     budget: u64,
 }
 
@@ -96,6 +98,7 @@ impl<M: Clone> Clone for Scenario<M> {
             mem: self.mem.clone(),
             procs: self.procs.clone(),
             obs: self.obs,
+            prof: self.prof,
             budget: self.budget,
         }
     }
@@ -105,7 +108,7 @@ impl<M> Scenario<M> {
     /// A scenario over initial shared memory `mem` with the given spec and
     /// the [`DEFAULT_STEP_BUDGET`].
     pub fn new(mem: M, spec: SystemSpec) -> Self {
-        Scenario { spec, mem, procs: Vec::new(), obs: false, budget: DEFAULT_STEP_BUDGET }
+        Scenario { spec, mem, procs: Vec::new(), obs: false, prof: false, budget: DEFAULT_STEP_BUDGET }
     }
 
     /// Adds a ready process pinned to `cpu` at priority `prio`; returns its
@@ -165,6 +168,15 @@ impl<M> Scenario<M> {
         self
     }
 
+    /// Streams every run through a [`Profile`] (the kernel is built with
+    /// [`Kernel::attach_prof`]; the derived metrics land in
+    /// [`RunResult::take_profile`]). Independent of [`Scenario::with_obs`]
+    /// — profiling alone retains no event log.
+    pub fn with_prof(mut self) -> Self {
+        self.prof = true;
+        self
+    }
+
     /// Overrides the run-to-completion step budget.
     pub fn step_budget(mut self, max_steps: u64) -> Self {
         self.budget = max_steps;
@@ -200,6 +212,9 @@ impl<M> Scenario<M> {
         }
         if self.obs {
             k.attach_obs();
+        }
+        if self.prof {
+            k.attach_prof();
         }
         k
     }
@@ -344,6 +359,17 @@ impl<M> RunResult<M> {
     /// Detaches and returns the captured observability trace, if any.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.kernel.take_obs()
+    }
+
+    /// Borrows the streamed profile, if the scenario ran
+    /// [`Scenario::with_prof`].
+    pub fn profile(&self) -> Option<&Profile> {
+        self.kernel.prof()
+    }
+
+    /// Detaches and returns the streamed profile, if any.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.kernel.take_prof()
     }
 }
 

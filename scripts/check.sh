@@ -53,4 +53,22 @@ else
   target/release/experiments --validate "$smoke_dir/BENCH_fuzz.timing.json"
 fi
 
+echo "== profile smoke (experiments --profile --smoke --jobs 2) + artifact validation =="
+# The schedule profiler over every algorithm family, parallel, plus
+# offline profiling of both committed fuzz counterexamples (which also
+# exercises the Perfetto exporter byte-pinned by tests/tests/
+# perfetto_golden.rs). Artifacts land in the scratch dir so the committed
+# BENCH_profile.json is not clobbered. Set SKIP_PROFILE_GATE=1 to skip.
+if [[ -n "${SKIP_PROFILE_GATE:-}" ]]; then
+  echo "   skipped (SKIP_PROFILE_GATE set)"
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --profile --smoke --jobs 2 > /dev/null)
+  target/release/experiments --validate "$smoke_dir/BENCH_profile.json"
+  target/release/experiments --validate "$smoke_dir/BENCH_profile.timing.json"
+  (cd "$smoke_dir" && ../../target/release/experiments \
+      --profile-trace ../../tests/golden/fuzz/fuzz_fig3_q1_storm_s5.trace > /dev/null)
+  (cd "$smoke_dir" && ../../target/release/experiments \
+      --profile-trace ../../tests/golden/fuzz/fuzz_fig7_q1_storm_s1.trace > /dev/null)
+fi
+
 echo "All checks passed."

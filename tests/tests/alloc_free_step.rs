@@ -1,6 +1,6 @@
 //! The PR 3 zero-allocation contract, enforced by a counting allocator:
-//! with history recording and observability both off, the kernel's
-//! steady-state step loop performs **no heap allocation at all**.
+//! with history recording, observability, and profiling all off, the
+//! kernel's steady-state step loop performs **no heap allocation at all**.
 //!
 //! This is the acceptance criterion for the allocation-free step path:
 //! labels are discarded without materialisation (`StepCtx` in discarding
@@ -75,9 +75,9 @@ fn spinning_kernel() -> Kernel<u64> {
     k
 }
 
-#[test]
-fn steady_state_step_loop_does_not_allocate() {
-    let mut k = spinning_kernel();
+/// Warms `k` up, then measures 1000 steady-state steps and asserts the
+/// step loop acquired no heap memory at all.
+fn assert_steady_state_alloc_free(k: &mut Kernel<u64>, what: &str) {
     let mut decider = RoundRobin::new();
 
     // Warmup: lets the kernel's scratch buffers and the decider's
@@ -95,8 +95,28 @@ fn steady_state_step_loop_does_not_allocate() {
     assert_eq!(
         after - before,
         0,
-        "kernel step loop allocated {} times over 1000 steps with obs and history off",
+        "kernel step loop allocated {} times over 1000 steps with {what}",
         after - before
     );
     assert!(k.mem >= 1_000, "statements must actually have executed");
+}
+
+#[test]
+fn steady_state_step_loop_does_not_allocate() {
+    let mut k = spinning_kernel();
+    assert_steady_state_alloc_free(&mut k, "obs and history off");
+
+    // The PR 5 extension of the contract: a kernel that *had* a streaming
+    // profiler attached and then detached (`take_prof`) must be just as
+    // allocation-free — the profiler being compiled in, and even having
+    // been used, costs nothing once it is off.
+    let mut k = spinning_kernel();
+    k.attach_prof();
+    let mut decider = RoundRobin::new();
+    for _ in 0..50 {
+        assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
+    }
+    let profile = k.take_prof().expect("profiler was attached");
+    assert!(profile.total_stmts() > 0, "profiler must have observed the warmup");
+    assert_steady_state_alloc_free(&mut k, "profiler detached after use");
 }

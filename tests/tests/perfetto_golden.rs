@@ -1,0 +1,40 @@
+//! Byte-pins the Perfetto/Chrome-trace exporter against a golden capture:
+//! rendering the committed Fig. 3 fuzz counterexample's trace must
+//! reproduce `golden/fuzz_fig3_q1_storm_s5.perfetto.json` exactly.
+//!
+//! This freezes every formatting decision the exporter makes — event
+//! ordering, fixed JSON key order, the two-rows-per-process track layout,
+//! timestamp attribution for untimed decision events, and the `"open"`
+//! marker for spans still in flight at end of trace. Any change to the
+//! export format must consciously regenerate the golden (via
+//! `experiments --profile-trace tests/golden/fuzz/fuzz_fig3_q1_storm_s5.trace`).
+
+use sched_sim::obs::Trace;
+use sched_sim::prof::chrome_trace_text;
+use sched_sim::report::Json;
+
+const TRACE: &str = include_str!("../golden/fuzz/fuzz_fig3_q1_storm_s5.trace");
+const GOLDEN: &str = include_str!("../golden/fuzz_fig3_q1_storm_s5.perfetto.json");
+
+#[test]
+fn fig3_counterexample_perfetto_export_matches_golden() {
+    let trace = Trace::from_text(TRACE).expect("committed counterexample parses as a trace");
+    let rendered = chrome_trace_text(&trace);
+    assert_eq!(
+        rendered, GOLDEN,
+        "Perfetto export of the Fig. 3 counterexample diverged from the golden capture"
+    );
+
+    // The golden itself must be a well-formed Chrome Trace Format
+    // document — ui.perfetto.dev's contract, not just ours.
+    let v = Json::parse(GOLDEN).expect("golden parses as JSON");
+    let Some(Json::Arr(events)) = v.get("traceEvents") else {
+        panic!("golden must carry a traceEvents array");
+    };
+    assert!(!events.is_empty());
+    for ev in events {
+        for key in ["name", "ph", "pid", "tid", "ts"] {
+            assert!(ev.get(key).is_some(), "event missing required key {key}: {ev}");
+        }
+    }
+}
