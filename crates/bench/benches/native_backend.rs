@@ -1,0 +1,47 @@
+//! The backend split, timed: the same backend-generic algorithms
+//! (`hybrid_wf::generic`) on the simulator cells and on the native
+//! cache-padded atomic cells, in both pacing modes.
+//!
+//! The interesting comparisons (see BACKENDS.md for the decision table):
+//!
+//! * sim vs native-free — the cost of real threads + real atomics against
+//!   single-threaded `RefCell` bookkeeping; free mode also measures actual
+//!   hardware contention on the padded cells.
+//! * native-free vs native-lockstep — the price of deterministic
+//!   statement-granular scheduling (one condvar round-trip per counted
+//!   statement), which is why lockstep is a *correctness* instrument, not
+//!   a throughput one.
+
+use bench::group;
+use hybrid_wf::generic::{fig3_decide, Fig3Cell};
+use hybrid_wf::universal::CounterSpec;
+use native::harness::{counter_plans, run_cas, run_fig3, run_universal, Pacing};
+use wfmem::SimBackend;
+
+fn main() {
+    let mut g = group("native_backend");
+    g.bench("fig3_sim_4_decides", || {
+        let b = SimBackend::new();
+        let cell = Fig3Cell::new(&b);
+        (1..=4u64).map(|v| fig3_decide(&b, &cell, 10 * v)).sum::<u64>()
+    });
+    g.bench("fig3_native_free_n4", || {
+        run_fig3(&[10, 20, 30, 40], Pacing::Free).records.len()
+    });
+    g.bench("fig3_native_lockstep_q8_n4", || {
+        run_fig3(&[10, 20, 30, 40], Pacing::Lockstep { seed: 0, quantum: 8 }).records.len()
+    });
+    g.bench("universal_counter_free_n4", || {
+        run_universal(CounterSpec, counter_plans(4, 8, 7), Pacing::Free).records.len()
+    });
+    g.bench("universal_counter_lockstep_q8_n4", || {
+        run_universal(
+            CounterSpec,
+            counter_plans(4, 8, 7),
+            Pacing::Lockstep { seed: 0, quantum: 8 },
+        )
+        .records
+        .len()
+    });
+    g.bench("cas_native_free_n8_per100", || run_cas(8, 100, 3, Pacing::Free).retries);
+}

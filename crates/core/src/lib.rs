@@ -32,6 +32,10 @@
 //!   B.2).
 //! * [`universal`] — Herlihy-style universal construction on top of
 //!   consensus: wait-free queues, counters, and registers.
+//! * [`generic`] — Fig. 3, the Fig. 5 object interface, and the universal
+//!   construction written once against [`wfmem::backend::MemBackend`], so
+//!   the same function bodies run on the deterministic simulator cells
+//!   and on the `native` crate's real-atomics backends (see BACKENDS.md).
 //! * [`baseline`] — comparators: an exponential-space priority-only
 //!   construction in the style of Ramamurthy–Moir–Anderson, and lock-based
 //!   objects.
@@ -66,6 +70,7 @@
 
 pub mod baseline;
 pub mod counters;
+pub mod generic;
 pub mod multi;
 pub mod oracle;
 pub mod uni;

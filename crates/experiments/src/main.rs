@@ -22,6 +22,10 @@
 //! * `--profile`   — schedule profiler sweep over the central families
 //!                   → `BENCH_profile.json` + `profile_<family>.perfetto.json`
 //!                   timelines (like `--fuzz`, explicit-only)
+//! * `--native`    — the native-backend grid: the backend-generic
+//!                   algorithms on real OS threads, cross-validated by the
+//!                   simulator oracles → `BENCH_native.json` (explicit-only;
+//!                   `--smoke` shrinks it for the `check.sh` gate)
 //!
 //! `--profile` runs Fig. 3 / Fig. 5 / universal / Fig. 7 at their legal
 //! quanta under storm and random deciders with a streaming profiler
@@ -74,7 +78,7 @@ use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
 use sched_sim::report::{
-    split_timing, validate_cells, Json, CELL_SCHEMA, PROFILE_SCHEMA, TIMING_SCHEMA,
+    split_timing, validate_cells, Json, CELL_SCHEMA, NATIVE_SCHEMA, PROFILE_SCHEMA, TIMING_SCHEMA,
 };
 use sched_sim::scenario::{RunResult, Scenario};
 use sched_sim::sweep::{cross, default_jobs, run_cells};
@@ -92,6 +96,8 @@ fn main() {
             TIMING_SCHEMA
         } else if path.ends_with("profile.json") {
             PROFILE_SCHEMA
+        } else if path.ends_with("native.json") {
+            NATIVE_SCHEMA
         } else {
             CELL_SCHEMA
         };
@@ -233,6 +239,15 @@ fn main() {
         let lines = profile_sweep(jobs, smoke);
         write_artifact("BENCH_profile.json", &lines);
     }
+    // The native grid spawns real OS threads per cell, so it is also
+    // explicit-only (and ignores `--jobs`: nesting thread-per-process
+    // cells under a worker pool would oversubscribe the machine).
+    let mut native_ok = true;
+    if flags.iter().any(|a| *a == "--native") {
+        let (lines, ok) = native_grid(smoke);
+        write_artifact("BENCH_native.json", &lines);
+        native_ok = ok;
+    }
     if want("--perf") {
         let cells = perf(smoke);
         write_artifact("BENCH_perf.json", &cells);
@@ -245,7 +260,7 @@ fn main() {
     if !sweeps.is_empty() {
         write_artifact("BENCH_sweeps.json", &sweeps);
     }
-    if !fuzz_ok {
+    if !fuzz_ok || !native_ok {
         std::process::exit(1);
     }
 }
@@ -444,6 +459,51 @@ fn profile_sweep(jobs: usize, smoke: bool) -> Vec<Json> {
     }
     println!();
     report_lines(&cells)
+}
+
+/// `--native`: the native-backend grid (see `lowerbound::native`).
+///
+/// Runs the backend-generic algorithms on real OS threads (free and
+/// lockstep pacing), scores every cell against the simulator's
+/// agreement/linearizability oracles, prints the grid, and returns the
+/// JSONL lines for `BENCH_native.json` plus the gate flag: `false` — and
+/// so a nonzero exit — on a `BUG` (violation on a backend that must be
+/// clean) or a `MISSING` (a pinned sub-threshold seed that no longer
+/// splits the Fig. 3 decision). Free-mode Fig. 3 disagreement is
+/// *reported*, never gated: no commodity scheduler promises Axiom 2.
+fn native_grid(smoke: bool) -> (Vec<Json>, bool) {
+    use lowerbound::native as ng;
+    let cells = ng::run_grid(smoke);
+    println!(
+        "── Native backend: {} OS-thread cells, oracle-checked ({}) ──",
+        cells.len(),
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "    family             pacing     n   q  seed    ops    steps  retries  checked       viol  verdict"
+    );
+    for c in &cells {
+        println!(
+            "    {:<17} {:<8} {:>4} {:>3} {:>5} {:>6} {:>8} {:>8}  {:<12} {:>4}  {}",
+            c.family.name(),
+            c.pacing,
+            c.threads,
+            c.q,
+            c.seed,
+            c.ops,
+            c.steps,
+            c.retries,
+            c.checked,
+            c.violations,
+            c.verdict(),
+        );
+    }
+    let ok = ng::grid_ok(&cells);
+    if !ok {
+        println!("  NATIVE GATE FAILED: a gated cell diverged from the paper's prediction");
+    }
+    println!();
+    (ng::report_lines(&cells), ok)
 }
 
 fn lemma1() {

@@ -23,6 +23,11 @@
 //!   violation search against the Fig. 7 algorithm, used by the `table1`
 //!   experiment to locate the quantum threshold between the paper's upper
 //!   and lower bounds.
+//! * [`native`] — the native-backend execution grid behind
+//!   `experiments --native`: the backend-generic algorithms on real OS
+//!   threads (free and lockstep pacing), every run cross-validated by the
+//!   simulator's own agreement/linearizability oracles, with pinned
+//!   sub-threshold seeds reproducing the `Q = 1` disagreement on hardware.
 //!
 //! The adversaries here are ordinary `sched_sim` deciders, so everything
 //! they do is subject to the same Axiom 1/2 well-formedness checking as
@@ -45,5 +50,6 @@
 pub mod adversary;
 pub mod fig6;
 pub mod fuzz;
+pub mod native;
 pub mod profile;
 pub mod valency;

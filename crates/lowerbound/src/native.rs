@@ -1,0 +1,387 @@
+//! Native-backend execution grid: the data layer behind
+//! `experiments --native`.
+//!
+//! The grid runs the backend-generic algorithms (`hybrid_wf::generic`) on
+//! **real OS threads** through [`native::harness`], in both pacing modes
+//! of [`native::backend::NativeBackend`], and cross-validates every run
+//! with the simulator's own oracles (`hybrid_wf::oracle`):
+//!
+//! * **free** pacing — genuine hardware races under the commodity
+//!   scheduler. Linearizability of the CAS-backed algorithms (the
+//!   universal construction, the Fig. 5 C&S interface) is *gated*: a
+//!   violation here is a bug, because hardware C&S has consensus number
+//!   ∞. Fig. 3 agreement is *reported*: no commodity kernel promises the
+//!   paper's quantum axiom, so disagreement is a measurement (see
+//!   EXPERIMENTS.md, "Native execution"), classified like the fuzzer's
+//!   [`Expect::Any`] cells.
+//! * **lockstep** pacing — the deterministic statement scheduler. At
+//!   `Q ≥ 8` (Theorem 1's bound) Fig. 3 agreement is gated; at `Q = 1`
+//!   the grid pins seeds whose schedules are *known* to split the
+//!   decision, so a quiet run means the lower-bound behaviour was lost
+//!   (gated as [`Expect::Violation`], exactly like the fuzzer's
+//!   sub-threshold cells).
+//!
+//! Unlike the simulator sweeps, the grid runs **serially**: each cell
+//! spawns one OS thread per process, and nesting that under a worker pool
+//! would oversubscribe the machine and distort the wall-clock rates the
+//! artifact reports. Lockstep cells are deterministic per seed (ops,
+//! steps, and violations are pure functions of the seed); free cells are
+//! inherently racy, so their step/retry counts vary run to run — the
+//! committed `BENCH_native.json` is a representative snapshot, like
+//! `BENCH_perf.json`'s throughput numbers.
+
+use std::time::Duration;
+
+use hybrid_wf::oracle::{CasRegisterSpec, QueueSpec};
+use hybrid_wf::uni::consensus::MIN_QUANTUM;
+use hybrid_wf::universal::CounterSpec;
+use native::harness::{
+    check_run_linearizable, counter_plans, fig3_agreement, queue_plans, run_cas, run_fig3,
+    run_universal, Pacing,
+};
+use sched_sim::report::Json;
+
+use crate::fuzz::Expect;
+
+/// The native workload families (see the module docs for what each gates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeFamily {
+    /// Fig. 3 read/write consensus, one decide per process.
+    Fig3,
+    /// The universal construction applied to a fetch-and-add counter.
+    Counter,
+    /// The universal construction applied to a FIFO queue.
+    Queue,
+    /// The Fig. 5 object interface (C&S + Read) on the backend C&S cell,
+    /// small enough for the linearizability oracle's DFS bound.
+    Cas,
+    /// The same C&S workload sized for throughput, not oracle-checkable
+    /// (the oracle's DFS bound is 63 operations); reports ops/sec only.
+    CasThroughput,
+}
+
+impl NativeFamily {
+    /// The family's report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeFamily::Fig3 => "fig3",
+            NativeFamily::Counter => "universal_counter",
+            NativeFamily::Queue => "universal_queue",
+            NativeFamily::Cas => "cas",
+            NativeFamily::CasThroughput => "cas_throughput",
+        }
+    }
+}
+
+/// One run of the native grid: a (family, pacing, threads, seed) cell.
+#[derive(Clone, Debug)]
+pub struct NativeCell {
+    /// The workload family.
+    pub family: NativeFamily,
+    /// `"free"` or `"lockstep"` (see [`Pacing`]).
+    pub pacing: &'static str,
+    /// Thread count = process count (one OS thread per process).
+    pub threads: usize,
+    /// The lockstep quantum in counted statements; `0` in free mode.
+    pub q: u32,
+    /// The scheduler seed (lockstep) / workload seed (free).
+    pub seed: u64,
+    /// Which oracle checked the run: `"agreement"`, `"linearizable"`, or
+    /// `"none"`.
+    pub checked: &'static str,
+    /// The paper's prediction for this cell, in the fuzzer's vocabulary.
+    pub expect: Expect,
+    /// Completed operations.
+    pub ops: u64,
+    /// Counted statements (cell accesses + explicit steps).
+    pub steps: u64,
+    /// Failed C&S attempts / duplicate universal-log slots.
+    pub retries: u64,
+    /// Oracle violations observed (0 or 1 per cell).
+    pub violations: u64,
+    /// Wall-clock time of the threaded section (nondeterministic; split
+    /// into the `.timing.json` sidecar on write).
+    pub wall: Duration,
+}
+
+impl NativeCell {
+    /// The cell's verdict against the paper's prediction, in the fuzzer's
+    /// vocabulary: `clean`/`BUG` for [`Expect::Clean`] cells,
+    /// `predicted`/`MISSING` for [`Expect::Violation`] cells,
+    /// `observed`/`quiet` for [`Expect::Any`] cells. `BUG` and `MISSING`
+    /// fail [`grid_ok`].
+    pub fn verdict(&self) -> &'static str {
+        match (self.expect, self.violations > 0) {
+            (Expect::Clean, true) => "BUG",
+            (Expect::Clean, false) => "clean",
+            (Expect::Violation, true) => "predicted",
+            (Expect::Violation, false) => "MISSING",
+            (Expect::Any, true) => "observed",
+            (Expect::Any, false) => "quiet",
+        }
+    }
+
+    /// Completed operations per wall-clock second (0 when the run was too
+    /// fast to time).
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            (self.ops as f64 / s).round()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One grid configuration: a (family, pacing) row swept over its seeds.
+struct CellCfg {
+    family: NativeFamily,
+    q: u32, // 0 = free
+    threads: usize,
+    per: usize,
+    seeds: Vec<u64>,
+    expect: Expect,
+    checked: &'static str,
+}
+
+/// Fig. 3 lockstep seeds whose `Q = 1` schedules are known to split the
+/// decision (found by `cargo run -p native --example lockstep_threshold`,
+/// deterministic per seed). Pinning them makes the sub-threshold cells
+/// [`Expect::Violation`]: a quiet run means the lower-bound behaviour —
+/// not just a measurement — was lost.
+pub const Q1_SPLIT_SEEDS: [(usize, [u64; 3]); 2] = [(3, [43, 55, 62]), (4, [3, 18, 35])];
+
+/// The grid rows. `smoke` shrinks the seed axis and the throughput
+/// workload for CI; the pinned `Q = 1` cells run in both modes (they are
+/// deterministic and tiny).
+fn grid_cfgs(smoke: bool) -> Vec<CellCfg> {
+    let seeds: Vec<u64> = (0..if smoke { 2 } else { 6 }).collect();
+    let mut cfgs = Vec::new();
+    for threads in [2usize, 4, 8] {
+        cfgs.push(CellCfg {
+            family: NativeFamily::Fig3,
+            q: 0,
+            threads,
+            per: 1,
+            seeds: seeds.clone(),
+            expect: Expect::Any,
+            checked: "agreement",
+        });
+    }
+    for threads in [2usize, 3, 4] {
+        cfgs.push(CellCfg {
+            family: NativeFamily::Fig3,
+            q: MIN_QUANTUM,
+            threads,
+            per: 1,
+            seeds: seeds.clone(),
+            expect: Expect::Clean,
+            checked: "agreement",
+        });
+    }
+    for (threads, pinned) in Q1_SPLIT_SEEDS {
+        cfgs.push(CellCfg {
+            family: NativeFamily::Fig3,
+            q: 1,
+            threads,
+            per: 1,
+            seeds: pinned.to_vec(),
+            expect: Expect::Violation,
+            checked: "agreement",
+        });
+    }
+    for q in [0, MIN_QUANTUM] {
+        cfgs.push(CellCfg {
+            family: NativeFamily::Counter,
+            q,
+            threads: 3,
+            per: 4,
+            seeds: seeds.clone(),
+            expect: Expect::Clean,
+            checked: "linearizable",
+        });
+    }
+    cfgs.push(CellCfg {
+        family: NativeFamily::Queue,
+        q: 0,
+        threads: 4,
+        per: 3,
+        seeds: seeds.clone(),
+        expect: Expect::Clean,
+        checked: "linearizable",
+    });
+    cfgs.push(CellCfg {
+        family: NativeFamily::Cas,
+        q: 0,
+        threads: 4,
+        per: 4,
+        seeds,
+        expect: Expect::Clean,
+        checked: "linearizable",
+    });
+    cfgs.push(CellCfg {
+        family: NativeFamily::CasThroughput,
+        q: 0,
+        threads: 8,
+        per: if smoke { 50 } else { 400 },
+        seeds: vec![0, 1],
+        expect: Expect::Clean,
+        checked: "none",
+    });
+    cfgs
+}
+
+/// Runs one cell and scores it against its oracle.
+fn run_one(cfg: &CellCfg, seed: u64) -> NativeCell {
+    let pacing = if cfg.q == 0 {
+        Pacing::Free
+    } else {
+        Pacing::Lockstep { seed, quantum: cfg.q }
+    };
+    let n = cfg.threads;
+    let (ops, steps, retries, violations, wall) = match cfg.family {
+        NativeFamily::Fig3 => {
+            let inputs: Vec<u64> = (0..n as u64).map(|i| 10 * (i + 1)).collect();
+            let run = run_fig3(&inputs, pacing);
+            let v = u64::from(fig3_agreement(&run).is_err());
+            (run.records.len(), run.accesses, run.retries, v, run.wall)
+        }
+        NativeFamily::Counter => {
+            let run = run_universal(CounterSpec, counter_plans(n, cfg.per, seed), pacing);
+            let v = u64::from(check_run_linearizable(&CounterSpec, &run).is_err());
+            (run.records.len(), run.accesses, run.retries, v, run.wall)
+        }
+        NativeFamily::Queue => {
+            let run = run_universal(QueueSpec, queue_plans(n, cfg.per), pacing);
+            let v = u64::from(check_run_linearizable(&QueueSpec, &run).is_err());
+            (run.records.len(), run.accesses, run.retries, v, run.wall)
+        }
+        NativeFamily::Cas => {
+            let run = run_cas(n, cfg.per, seed, pacing);
+            let v =
+                u64::from(check_run_linearizable(&CasRegisterSpec { init: 0 }, &run).is_err());
+            (run.records.len(), run.accesses, run.retries, v, run.wall)
+        }
+        NativeFamily::CasThroughput => {
+            let run = run_cas(n, cfg.per, seed, pacing);
+            (run.records.len(), run.accesses, run.retries, 0, run.wall)
+        }
+    };
+    NativeCell {
+        family: cfg.family,
+        pacing: if cfg.q == 0 { "free" } else { "lockstep" },
+        threads: n,
+        q: cfg.q,
+        seed,
+        checked: cfg.checked,
+        expect: cfg.expect,
+        ops: ops as u64,
+        steps,
+        retries,
+        violations,
+        wall,
+    }
+}
+
+/// Runs the full native grid, serially (see the module docs for why there
+/// is no `jobs` knob here).
+pub fn run_grid(smoke: bool) -> Vec<NativeCell> {
+    let mut cells = Vec::new();
+    for cfg in grid_cfgs(smoke) {
+        for &seed in &cfg.seeds {
+            cells.push(run_one(&cfg, seed));
+        }
+    }
+    cells
+}
+
+/// `true` when every cell matched the paper's prediction: no `BUG`
+/// (violation where the backend must be clean) and no `MISSING` (quiet
+/// run at a pinned sub-threshold seed).
+pub fn grid_ok(cells: &[NativeCell]) -> bool {
+    cells.iter().all(|c| !matches!(c.verdict(), "BUG" | "MISSING"))
+}
+
+/// Wall-clock milliseconds rounded to 1 µs (the artifact convention;
+/// stripped into the `.timing.json` sidecar on write).
+fn wall_ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e3 * 1e3).round() / 1e3
+}
+
+/// Renders the grid as JSONL report lines — one `"native"` line per cell,
+/// validating against `sched_sim::report::NATIVE_SCHEMA` (and, like every
+/// workspace artifact, against the base `CELL_SCHEMA`).
+pub fn report_lines(cells: &[NativeCell]) -> Vec<Json> {
+    cells
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("kind", Json::from("native")),
+                (
+                    "cell",
+                    Json::obj([
+                        ("family", Json::from(c.family.name())),
+                        ("pacing", Json::from(c.pacing)),
+                        ("threads", Json::from(c.threads as u64)),
+                        ("q", Json::from(c.q)),
+                        ("seed", Json::from(c.seed)),
+                    ]),
+                ),
+                ("steps", Json::from(c.steps)),
+                ("ops", Json::from(c.ops)),
+                ("retries", Json::from(c.retries)),
+                ("checked", Json::from(c.checked)),
+                ("expect", Json::from(c.expect.name())),
+                ("violations", Json::from(c.violations)),
+                ("verdict", Json::from(c.verdict())),
+                ("ops_per_sec", Json::from(c.ops_per_sec())),
+                ("wall_ms", Json::from(wall_ms(c.wall))),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_sim::report::{validate_cells, CELL_SCHEMA, NATIVE_SCHEMA};
+
+    #[test]
+    fn smoke_grid_matches_predictions_and_validates() {
+        let cells = run_grid(true);
+        assert!(grid_ok(&cells), "native smoke grid violated a gated prediction");
+        // The pinned sub-threshold cells actually fired.
+        assert!(
+            cells
+                .iter()
+                .filter(|c| c.q == 1)
+                .all(|c| c.verdict() == "predicted"),
+            "a pinned Q = 1 seed no longer splits the decision"
+        );
+        // Every Fig. 3 decide is exactly 8 counted statements (Theorem 1's
+        // constant), on real threads in either pacing mode.
+        for c in cells.iter().filter(|c| c.family == NativeFamily::Fig3) {
+            assert_eq!(c.steps, 8 * c.threads as u64, "{c:?}");
+        }
+        let text: String =
+            report_lines(&cells).iter().map(|l| format!("{l}\n")).collect();
+        assert_eq!(validate_cells(&text, NATIVE_SCHEMA), Ok(cells.len()));
+        assert_eq!(validate_cells(&text, CELL_SCHEMA), Ok(cells.len()));
+    }
+
+    #[test]
+    fn lockstep_cells_are_deterministic() {
+        let cfg = CellCfg {
+            family: NativeFamily::Counter,
+            q: MIN_QUANTUM,
+            threads: 3,
+            per: 2,
+            seeds: vec![],
+            expect: Expect::Clean,
+            checked: "linearizable",
+        };
+        let a = run_one(&cfg, 9);
+        let b = run_one(&cfg, 9);
+        assert_eq!((a.ops, a.steps, a.retries, a.violations), (b.ops, b.steps, b.retries, b.violations));
+    }
+}

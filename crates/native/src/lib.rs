@@ -1,41 +1,68 @@
-//! Real-atomics, real-threads port of the paper's multiprocessor consensus.
+//! Native memory backends: the paper's algorithms on **real hardware
+//! concurrency**, cross-validated by the simulator's own oracles.
 //!
-//! The simulator (`sched-sim`) is the paper's own execution model and
-//! carries all correctness experiments; this crate shows the same code
-//! shapes running on **actual hardware concurrency**: one OS thread per
-//! simulated *processor*, shared memory in `std::sync::atomic`, and the
-//! processes of each processor executed on their processor's thread.
+//! The simulator (`sched-sim`) is the paper's execution model and carries
+//! the statement-level correctness experiments. This crate is the other
+//! half of the backend split (see `BACKENDS.md` at the repository root):
+//! it implements the [`wfmem::backend::MemBackend`] cell vocabulary over
+//! cache-line-padded `std::sync::atomic` words and drives the
+//! backend-generic algorithms of `hybrid_wf::generic` — Fig. 3 consensus,
+//! the Fig. 5 C&S + Read interface, the universal construction — on one
+//! OS thread per process, in two pacing modes:
 //!
-//! Running a processor's processes sequentially (each `decide` runs to
-//! completion before the next starts) is a *legal hybrid schedule* — one
-//! with no preemptions at all — so Theorem 4's agreement guarantee applies
-//! verbatim, while the **cross-processor** interleaving through the
-//! `C`-consensus objects is genuinely racy and exercises the atomics.
+//! * **free** — genuine races under the commodity scheduler. This mode
+//!   measures throughput, and it is where the paper's quantum axiom does
+//!   *not* hold: no mainstream kernel promises `Q` statements between
+//!   equal-priority preemptions (the motivating RTOSes — QNX, IRIX REACT,
+//!   VxWorks — do). Fig. 3 agreement is therefore a *measurement* here,
+//!   not a theorem; CAS-backed algorithms (the universal construction,
+//!   the C&S object) stay correct because hardware C&S has consensus
+//!   number ∞.
+//! * **lockstep** — a deterministic token-passing scheduler
+//!   ([`backend::NativeBackend::lockstep`]) grants one counted statement
+//!   at a time, enforcing Axiom 1 (strict priorities) and Axiom 2
+//!   (quantum windows of `Q` statements) with seeded tie-breaking. The
+//!   same generic code, scheduled per the paper's model on real threads:
+//!   `Q ≥ 8` reproduces Theorem 1's agreement, `Q = 1` reproduces the
+//!   disagreements the simulator's explorer finds.
 //!
-//! What cannot be ported to a commodity OS is the *quantum guarantee*
-//! itself: no mainstream kernel promises `Q` statements between
-//! equal-priority preemptions (the paper's motivating RTOSes — QNX, IRIX
-//! REACT, VxWorks — do). The closest commodity analogue is the `SCHED_RR`
-//! real-time class; [`rt`] models the request for it as an API that
-//! reports a clean [`rt::RtOutcome::Denied`] outcome (the workspace
-//! builds with no OS bindings — see the module docs for the rationale),
-//! so callers exercise exactly the degraded path they would hit without
-//! RT privileges. The statement-level experiments stay in the simulator.
-//! This split is documented in DESIGN.md as system S16.
+//! The [`harness`] records every operation in the simulator's
+//! [`sched_sim::kernel::OpRecord`] format, so native runs are checked by
+//! the *same* `hybrid_wf::oracle` linearizability/agreement machinery the
+//! fuzzer uses (`tests/tests/native_crossval.rs`;
+//! `experiments --native` sweeps the grid into `BENCH_native.json`).
 //!
 //! Crate tour:
 //!
-//! * [`objects`] — lock-free `C`-consensus and election objects over
-//!   `std::sync::atomic`, invocation-counted like their simulated
-//!   counterparts in `wfmem`.
-//! * [`fig7`] — the Fig. 7 consensus driver: spawns one thread per
-//!   processor, runs that processor's processes sequentially on it, and
-//!   checks cross-thread agreement.
-//! * [`rt`] — the degraded-outcome real-time scheduling request API.
+//! * [`cells`] — `#[repr(align(64))]` padded atomic cells (register, C&S,
+//!   first-wins consensus) and the const-generic striped counter the
+//!   accounting runs on.
+//! * [`backend`] — [`backend::NativeBackend`]: the `MemBackend`
+//!   implementation, free and lockstep pacing, and the deterministic
+//!   statement scheduler.
+//! * [`harness`] — thread-per-process workload runners emitting
+//!   `OpRecord`s through a global ticket clock, plus oracle bridges.
+//! * [`objects`] — the original lock-free `C`-consensus and election
+//!   objects over `std::sync::atomic` (Fig. 7's building blocks),
+//!   invocation-counted like their `wfmem` counterparts.
+//! * [`fig7`] — the Fig. 7 multiprocessor-consensus driver: one thread
+//!   per *processor*, that processor's processes run sequentially on it
+//!   (a legal hybrid schedule with no preemptions, so Theorem 4 applies
+//!   verbatim).
+//! * [`rt`] — the degraded-outcome real-time scheduling request API (the
+//!   hook where a privileged host would request `SCHED_RR`).
+//!
+//! Which backend to use when — and which paper guarantees survive on
+//! which backend — is tabulated in `BACKENDS.md`; the worked native
+//! experiment and its honest caveats live in EXPERIMENTS.md ("Native
+//! execution").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod cells;
 pub mod fig7;
+pub mod harness;
 pub mod objects;
 pub mod rt;

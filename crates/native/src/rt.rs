@@ -11,10 +11,16 @@
 //! linked; the request path is kept as a stub that reports
 //! [`RtOutcome::Denied`] with `ENOSYS`, exactly the degraded path callers
 //! already had to handle (unprivileged containers return `EPERM` the same
-//! way). Correctness of the lock-free objects is scheduler-independent on
-//! real CAS hardware, so nothing downstream changes; all experiments that
-//! depend on the quantum semantics live in the simulator for exactly this
-//! reason.
+//! way).
+//!
+//! Since the backend refactor, the statement-granular quantum semantics
+//! *are* available on real threads without any privilege: the lockstep
+//! pacing mode of [`crate::backend::NativeBackend`] enforces both axioms
+//! deterministically in user space. This module remains the hook for the
+//! complementary path — asking the host kernel for its own (time-based,
+//! non-deterministic) hybrid scheduling of the *free* pacing mode.
+//! EXPERIMENTS.md ("Native execution") spells out what each option does
+//! and does not guarantee.
 
 /// `ENOSYS`: the functionality is not available in this build.
 const ENOSYS: i32 = 38;

@@ -469,6 +469,20 @@ pub const PROFILE_SCHEMA: &[(&str, Kind)] = &[
     ("metrics", Kind::Obj),
 ];
 
+/// The envelope of a native-grid report line (`BENCH_native.json`): the
+/// standard [`CELL_SCHEMA`] plus the operation count, the oracle
+/// violation count, and the cell's verdict against the paper's
+/// prediction (`clean`/`BUG`, `predicted`/`MISSING`, `observed`/`quiet`
+/// — see `lowerbound::native`).
+pub const NATIVE_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
+    ("steps", Kind::Num),
+    ("ops", Kind::Num),
+    ("violations", Kind::Num),
+    ("verdict", Kind::Str),
+];
+
 /// The envelope of a `*.timing.json` sidecar line: the `kind` and `cell`
 /// identifying the sweep cell, plus its nondeterministic `wall_ms`.
 pub const TIMING_SCHEMA: &[(&str, Kind)] = &[

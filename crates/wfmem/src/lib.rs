@@ -31,6 +31,15 @@
 //! `native` real-atomics port (which re-implements them over
 //! `std::sync::atomic` with the same invocation accounting).
 //!
+//! The [`backend`] module abstracts over that split: [`MemBackend`] is the
+//! cell vocabulary (register / C&S / consensus cell plus a process-local
+//! step hook) that lets the Fig. 3 and universal-construction algorithms
+//! in `hybrid-wf::generic` be written once and instantiated both on
+//! [`SimBackend`] (deterministic, step-counted, built from the cells
+//! above) and on the `native` crate's cache-padded atomic backends. See
+//! `BACKENDS.md` at the repository root for the trait contract and the
+//! per-backend guarantees.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,10 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod consensus;
 mod modeled;
 mod reg;
 
+pub use backend::{CasCell, ConsCell, MemBackend, RegCell, SimBackend};
 pub use consensus::{CConsensus, LocalConsensus};
 pub use modeled::{ModeledCas, ModeledFai};
 pub use reg::Reg;

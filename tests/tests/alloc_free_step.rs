@@ -77,6 +77,15 @@ fn spinning_kernel() -> Kernel<u64> {
 
 /// Warms `k` up, then measures 1000 steady-state steps and asserts the
 /// step loop acquired no heap memory at all.
+///
+/// The allocation counter is process-wide, and the process is not
+/// perfectly quiet: the test harness's main thread parks in its
+/// result-channel `recv()` at a scheduler-determined moment, and that
+/// first park lazily allocates (observed as exactly two allocations, 48
+/// and 96 bytes, landing at an arbitrary point under host load). Such
+/// exogenous allocations are one-shot, so the window is retried: a real
+/// step-loop regression allocates in *every* window and still fails,
+/// while a stray lazy init is absorbed by the next clean window.
 fn assert_steady_state_alloc_free(k: &mut Kernel<u64>, what: &str) {
     let mut decider = RoundRobin::new();
 
@@ -86,17 +95,22 @@ fn assert_steady_state_alloc_free(k: &mut Kernel<u64>, what: &str) {
         assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
     }
 
-    let before = ALLOCS.load(Ordering::Relaxed);
-    for _ in 0..1_000 {
-        assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
+    let mut allocated = 0;
+    for _attempt in 0..3 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..1_000 {
+            assert!(k.step(&mut decider).is_some(), "spin workload must never quiesce");
+        }
+        allocated = ALLOCS.load(Ordering::Relaxed) - before;
+        if allocated == 0 {
+            break;
+        }
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
 
     assert_eq!(
-        after - before,
-        0,
-        "kernel step loop allocated {} times over 1000 steps with {what}",
-        after - before
+        allocated, 0,
+        "kernel step loop allocated {allocated} times over 1000 steps with {what} \
+         (in three consecutive windows)"
     );
     assert!(k.mem >= 1_000, "statements must actually have executed");
 }
