@@ -32,6 +32,9 @@
 //!   B.2).
 //! * [`universal`] — Herlihy-style universal construction on top of
 //!   consensus: wait-free queues, counters, and registers.
+//! * [`service`] — long-lived worker sessions over the same construction:
+//!   on-demand operation generation for multiplexed clients and optional
+//!   think-time, the machine behind `experiments --service`.
 //! * [`generic`] — Fig. 3, the Fig. 5 object interface, and the universal
 //!   construction written once against [`wfmem::backend::MemBackend`], so
 //!   the same function bodies run on the deterministic simulator cells
@@ -73,6 +76,7 @@ pub mod counters;
 pub mod generic;
 pub mod multi;
 pub mod oracle;
+pub mod service;
 pub mod uni;
 pub mod universal;
 

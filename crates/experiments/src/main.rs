@@ -26,6 +26,13 @@
 //!                   algorithms on real OS threads, cross-validated by the
 //!                   simulator oracles → `BENCH_native.json` (explicit-only;
 //!                   `--smoke` shrinks it for the `check.sh` gate)
+//! * `--service`   — the request-serving workload engine: long-lived
+//!                   sharded universal-object services under thousands of
+//!                   multiplexed clients → `BENCH_service.json` with
+//!                   per-shard throughput and request-latency percentiles
+//!                   (explicit-only; `--smoke` shrinks it;
+//!                   `--service-baseline FILE` gates per-request cost
+//!                   against a committed artifact)
 //!
 //! `--profile` runs Fig. 3 / Fig. 5 / universal / Fig. 7 at their legal
 //! quanta under storm and random deciders with a streaming profiler
@@ -78,29 +85,75 @@ use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
 use sched_sim::report::{
-    split_timing, validate_cells, Json, CELL_SCHEMA, NATIVE_SCHEMA, PROFILE_SCHEMA, TIMING_SCHEMA,
+    schema_for_path, split_timing, validate_cells, Json, TIMING_SCHEMA,
 };
 use sched_sim::scenario::{RunResult, Scenario};
 use sched_sim::sweep::{cross, default_jobs, run_cells};
 
+/// The shared run options every subcommand draws from: one parse, one
+/// source of truth for which `--flags` are option-carrying (and so must
+/// not be mistaken for experiment selectors).
+struct RunArgs {
+    /// Sweep worker count (`--jobs N`; default: available parallelism).
+    jobs: usize,
+    /// CI-scale workloads (`--smoke`).
+    smoke: bool,
+    /// Committed `BENCH_perf.json` to gate `--perf` against.
+    perf_baseline: Option<String>,
+    /// Committed `BENCH_service.json` to gate `--service` against.
+    service_baseline: Option<String>,
+    /// Directory for shrunk fuzz counterexamples (`--fuzz-dir DIR`).
+    fuzz_dir: String,
+}
+
+impl RunArgs {
+    /// Options (flags that consume the next argument, plus `--smoke`);
+    /// everything else starting with `--` selects an experiment.
+    const OPTS: [&'static str; 5] =
+        ["--jobs", "--smoke", "--perf-baseline", "--service-baseline", "--fuzz-dir"];
+
+    fn parse(args: &[String]) -> Self {
+        let value_of = |flag: &str| {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+            })
+        };
+        RunArgs {
+            jobs: value_of("--jobs")
+                .map(|n| n.parse::<usize>().expect("--jobs needs an integer"))
+                .unwrap_or_else(default_jobs),
+            smoke: args.iter().any(|a| a == "--smoke"),
+            perf_baseline: value_of("--perf-baseline"),
+            service_baseline: value_of("--service-baseline"),
+            fuzz_dir: value_of("--fuzz-dir").unwrap_or_else(|| "tests/golden/fuzz".to_string()),
+        }
+    }
+
+    /// The experiment-selector flags: `--`-prefixed arguments that are not
+    /// run options.
+    fn mode_flags(args: &[String]) -> Vec<&String> {
+        args.iter()
+            .filter(|a| a.starts_with("--") && !Self::OPTS.contains(&a.as_str()))
+            .collect()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Standalone artifact validation: `--validate FILE`.
+    // Standalone artifact validation: `--validate FILE`. The schema is
+    // picked from the file's final path component only
+    // (`report::schema_for_path`), so absolute paths and odd parent
+    // directories cannot misroute the choice.
     if let Some(i) = args.iter().position(|a| a == "--validate") {
         let path = args.get(i + 1).unwrap_or_else(|| {
             eprintln!("--validate needs a file path");
             std::process::exit(2);
         });
-        let schema = if path.ends_with(".timing.json") {
-            TIMING_SCHEMA
-        } else if path.ends_with("profile.json") {
-            PROFILE_SCHEMA
-        } else if path.ends_with("native.json") {
-            NATIVE_SCHEMA
-        } else {
-            CELL_SCHEMA
-        };
+        let schema = schema_for_path(std::path::Path::new(path));
         match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|text| validate_cells(&text, schema))
@@ -149,42 +202,8 @@ fn main() {
         }
     }
 
-    let jobs = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .map(|n| n.parse::<usize>().expect("--jobs needs an integer"))
-        .unwrap_or_else(default_jobs);
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let perf_baseline = args
-        .iter()
-        .position(|a| a == "--perf-baseline")
-        .map(|i| {
-            args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--perf-baseline needs a file path");
-                std::process::exit(2);
-            })
-        });
-    let fuzz_dir = args
-        .iter()
-        .position(|a| a == "--fuzz-dir")
-        .map(|i| {
-            args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--fuzz-dir needs a directory path");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or_else(|| "tests/golden/fuzz".to_string());
-    let flags: Vec<&String> = args
-        .iter()
-        .filter(|a| {
-            a.starts_with("--")
-                && *a != "--jobs"
-                && *a != "--smoke"
-                && *a != "--perf-baseline"
-                && *a != "--fuzz-dir"
-        })
-        .collect();
+    let run = RunArgs::parse(&args);
+    let flags = RunArgs::mode_flags(&args);
     let all = flags.is_empty() || flags.iter().any(|a| *a == "--all");
     let want = |flag: &str| all || flags.iter().any(|a| *a == flag);
 
@@ -195,7 +214,7 @@ fn main() {
         lemma1();
     }
     if want("--thm1") {
-        sweeps.extend(thm1(jobs));
+        sweeps.extend(thm1(run.jobs));
     }
     if want("--thm2") {
         thm2();
@@ -204,10 +223,10 @@ fn main() {
         fig8();
     }
     if want("--thm4") {
-        sweeps.extend(thm4(jobs));
+        sweeps.extend(thm4(run.jobs));
     }
     if want("--failures") {
-        sweeps.extend(failures(jobs));
+        sweeps.extend(failures(run.jobs));
     }
     if want("--thm3") {
         thm3();
@@ -216,7 +235,7 @@ fn main() {
         valency();
     }
     if want("--table1") {
-        let cells = table1(jobs);
+        let cells = table1(run.jobs);
         write_artifact("BENCH_table1.json", &cells);
     }
     if want("--poly-vs-exp") {
@@ -228,7 +247,7 @@ fn main() {
     let want_fuzz = flags.iter().any(|a| *a == "--fuzz");
     let mut fuzz_ok = true;
     if want_fuzz {
-        let (cells, ok) = fuzz(jobs, smoke, &fuzz_dir);
+        let (cells, ok) = fuzz(run.jobs, run.smoke, &run.fuzz_dir);
         write_artifact("BENCH_fuzz.json", &cells);
         fuzz_ok = ok;
     }
@@ -236,7 +255,7 @@ fn main() {
     // full families and writes timeline artifacts, which the default
     // `--all` report does not need.
     if flags.iter().any(|a| *a == "--profile") {
-        let lines = profile_sweep(jobs, smoke);
+        let lines = profile_sweep(run.jobs, run.smoke);
         write_artifact("BENCH_profile.json", &lines);
     }
     // The native grid spawns real OS threads per cell, so it is also
@@ -244,14 +263,23 @@ fn main() {
     // cells under a worker pool would oversubscribe the machine).
     let mut native_ok = true;
     if flags.iter().any(|a| *a == "--native") {
-        let (lines, ok) = native_grid(smoke);
+        let (lines, ok) = native_grid(run.smoke);
         write_artifact("BENCH_native.json", &lines);
         native_ok = ok;
     }
+    // The request-serving workload engine: long-lived universal-object
+    // service runs. Explicit-only like --profile (it streams millions of
+    // invocations at full scale).
+    let mut service_ok = true;
+    if flags.iter().any(|a| *a == "--service") {
+        let (lines, ok) = service(run.jobs, run.smoke, run.service_baseline.as_deref());
+        write_artifact("BENCH_service.json", &lines);
+        service_ok = ok;
+    }
     if want("--perf") {
-        let cells = perf(smoke);
+        let cells = perf(run.smoke);
         write_artifact("BENCH_perf.json", &cells);
-        if let Some(base) = &perf_baseline {
+        if let Some(base) = &run.perf_baseline {
             if !perf_gate(&cells, base) {
                 std::process::exit(1);
             }
@@ -260,7 +288,7 @@ fn main() {
     if !sweeps.is_empty() {
         write_artifact("BENCH_sweeps.json", &sweeps);
     }
-    if !fuzz_ok || !native_ok {
+    if !fuzz_ok || !native_ok || !service_ok {
         std::process::exit(1);
     }
 }
@@ -288,7 +316,8 @@ fn write_artifact(path: &str, lines: &[Json]) {
             timed += 1;
         }
     }
-    let cells = validate_cells(&out, CELL_SCHEMA).expect("artifact failed self-validation");
+    let schema = schema_for_path(std::path::Path::new(path));
+    let cells = validate_cells(&out, schema).expect("artifact failed self-validation");
     std::fs::write(path, out).expect("write artifact");
     let sidecar = match path.strip_suffix(".json") {
         Some(stem) => format!("{stem}.timing.json"),
@@ -504,6 +533,132 @@ fn native_grid(smoke: bool) -> (Vec<Json>, bool) {
     }
     println!();
     (ng::report_lines(&cells), ok)
+}
+
+/// `--service`: the request-serving workload engine (see
+/// `lowerbound::service`).
+///
+/// Runs the (object, arrival) service grid — sharded universal objects
+/// serving a multiplexed client population over the sweep worker pool —
+/// prints the per-configuration summary, and returns the JSONL lines for
+/// `BENCH_service.json` plus the gate flag: `false` if any configuration
+/// failed to finish inside its step budget, or (with a baseline) if
+/// per-request cost regressed past the threshold.
+fn service(jobs: usize, smoke: bool, baseline: Option<&str>) -> (Vec<Json>, bool) {
+    let cfgs = lowerbound::service::grid(smoke);
+    println!(
+        "── Service engine: {} (object, arrival) configurations ({}, {jobs} jobs) ──",
+        cfgs.len(),
+        if smoke { "smoke" } else { "full" }
+    );
+    let lines = lowerbound::service::run_grid(jobs, smoke);
+    println!(
+        "    object   arrival  shards  clients  workers   requests  steps/req     p50     p90     p99  finished"
+    );
+    let mut ok = true;
+    let cell_str = |l: &Json, key: &str| {
+        l.get("cell")
+            .and_then(|c| c.get(key))
+            .map_or("?".to_string(), |v| match v {
+                Json::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+    };
+    for (cfg, l) in cfgs.iter().zip(
+        lines.iter().filter(|l| l.get("kind").and_then(Json::as_str) == Some("service_total")),
+    ) {
+        let finished = l.get("all_finished") == Some(&Json::Bool(true));
+        if !finished {
+            ok = false;
+        }
+        let num = |key: &str| l.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "    {:<8} {:<8} {:>6} {:>8} {:>8} {:>10}  {:>9} {:>7} {:>7} {:>7}  {}",
+            cell_str(l, "object"),
+            cell_str(l, "arrival"),
+            cfg.shards,
+            cell_str(l, "clients"),
+            cell_str(l, "workers"),
+            num("requests"),
+            l.get("steps_per_request").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            num("p50"),
+            num("p90"),
+            num("p99"),
+            if finished { "yes" } else { "NO (budget)" },
+        );
+    }
+    if !ok {
+        println!("  SERVICE GATE FAILED: a configuration exhausted its step budget");
+    }
+    if let Some(base) = baseline {
+        if !service_gate(&lines, base) {
+            ok = false;
+        }
+    }
+    println!();
+    (lines, ok)
+}
+
+/// Compares fresh service totals against a committed `BENCH_service.json`
+/// by (object, arrival); returns `false` (→ nonzero exit) if any
+/// configuration's per-request statement cost grew past 1/0.70× the
+/// baseline. `steps_per_request` is fully deterministic (wall time never
+/// enters it), so the gate is immune to machine speed — only an algorithmic
+/// or scheduling change can trip it.
+fn service_gate(fresh: &[Json], base_path: &str) -> bool {
+    let text = match std::fs::read_to_string(base_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("  service baseline {base_path}: {e}");
+            return false;
+        }
+    };
+    let totals = |cells: &[Json]| -> Vec<(String, String, f64)> {
+        cells
+            .iter()
+            .filter(|l| l.get("kind").and_then(Json::as_str) == Some("service_total"))
+            .filter_map(|l| {
+                let cell = l.get("cell")?;
+                Some((
+                    cell.get("object")?.as_str()?.to_string(),
+                    cell.get("arrival")?.as_str()?.to_string(),
+                    l.get("steps_per_request")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let base_cells: Vec<Json> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| Json::parse(l).ok())
+        .collect();
+    let base = totals(&base_cells);
+    let now = totals(fresh);
+    let mut ok = true;
+    println!("  service gate vs {base_path} (fail above 1/0.70× baseline steps/request):");
+    for (object, arrival, b) in &base {
+        let Some((_, _, n)) =
+            now.iter().find(|(o, a, _)| o == object && a == arrival)
+        else {
+            eprintln!("    {object}/{arrival}: missing from fresh run");
+            ok = false;
+            continue;
+        };
+        if *b <= 0.0 {
+            println!("    {object}/{arrival}: baseline cost is zero — skipped");
+            continue;
+        }
+        let ratio = n / b;
+        let verdict = if ratio <= 1.0 / 0.70 { "ok" } else { "REGRESSED" };
+        println!(
+            "    {object}/{arrival}: {n:.3} vs baseline {b:.3} steps/request ({ratio:.2}×) {verdict}"
+        );
+        if ratio > 1.0 / 0.70 {
+            ok = false;
+        }
+    }
+    ok
 }
 
 fn lemma1() {

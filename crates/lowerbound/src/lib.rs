@@ -23,6 +23,9 @@
 //!   violation search against the Fig. 7 algorithm, used by the `table1`
 //!   experiment to locate the quantum threshold between the paper's upper
 //!   and lower bounds.
+//! * [`service`] — the long-lived request-serving grid behind
+//!   `experiments --service`: sharded universal objects under thousands
+//!   of multiplexed clients, with latency-percentile reporting.
 //! * [`native`] — the native-backend execution grid behind
 //!   `experiments --native`: the backend-generic algorithms on real OS
 //!   threads (free and lockstep pacing), every run cross-validated by the
@@ -52,4 +55,5 @@ pub mod fig6;
 pub mod fuzz;
 pub mod native;
 pub mod profile;
+pub mod service;
 pub mod valency;

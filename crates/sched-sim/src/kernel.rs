@@ -557,6 +557,14 @@ impl<M> Kernel<M> {
         &self.ops
     }
 
+    /// Pre-reserves capacity for `additional` further completed-invocation
+    /// records, so a long-lived run whose invocation count is known up
+    /// front (the service engine's case) never grows the op log mid-run —
+    /// the record push stays allocation-free on the steady-state step path.
+    pub fn reserve_ops(&mut self, additional: usize) {
+        Arc::make_mut(&mut self.ops).reserve(additional);
+    }
+
     /// Processors with at least one ready process, ascending.
     pub fn runnable_cpus(&self) -> Vec<ProcessorId> {
         let mut v: Vec<ProcessorId> = self

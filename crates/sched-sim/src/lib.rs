@@ -36,6 +36,11 @@
 //! * [`prof`] — streaming schedule profiler over the [`obs`] event
 //!   stream (window utilization, preemption/retry counts, log-bucketed
 //!   histograms) and a Chrome-trace/Perfetto timeline exporter.
+//! * [`service`] — the request-serving front door: long-lived workloads
+//!   (thousands of clients, sharded objects, open/closed-loop arrivals)
+//!   built from per-shard [`scenario::Scenario`]s, with per-shard and
+//!   per-priority latency percentiles in a [`service::ServiceReport`].
+//! * [`prelude`] — one-import access to the whole front-door surface.
 //!
 //! # Quick example
 //!
@@ -72,11 +77,13 @@ pub mod ids;
 pub mod kernel;
 pub mod machine;
 pub mod obs;
+pub mod prelude;
 pub mod prof;
 pub mod program;
 pub mod report;
 pub mod rng;
 pub mod scenario;
+pub mod service;
 pub mod shrink;
 pub mod sweep;
 pub mod sym;
@@ -90,4 +97,5 @@ pub use machine::{StepCtx, StepMachine, StepOutcome};
 pub use prof::{Hist, Profile};
 pub use sym::{Interner, Sym};
 pub use scenario::{RunResult, Scenario};
+pub use service::{Arrival, Service, ServiceReport, ServiceSpec, ShardPlan, ShardReport};
 pub use sweep::{cross, default_jobs, run_cells};

@@ -1,0 +1,38 @@
+//! One-import access to the crate's front-door surface.
+//!
+//! Everything a typical experiment touches — building a
+//! [`Scenario`]/[`Service`], choosing a [`Decider`], reading a
+//! [`RunResult`]/[`ServiceReport`], publishing [`Json`] artifact lines —
+//! in a single `use`:
+//!
+//! ```
+//! use sched_sim::prelude::*;
+//!
+//! let mut s = Scenario::new(0u64, SystemSpec::hybrid(2));
+//! s.add_process(ProcessorId(0), Priority(1), Box::new(FnMachine::new(
+//!     |mem: &mut u64, calls| {
+//!         *mem += 1;
+//!         if calls == 3 { (StepOutcome::Finished, Some(*mem)) }
+//!         else { (StepOutcome::Continue, None) }
+//!     })));
+//! let r = s.run_fair();
+//! assert_eq!(*r.mem(), 4);
+//! ```
+//!
+//! Deeper machinery ([`crate::explore`], [`crate::shrink`],
+//! [`crate::history`], …) stays behind its module path on purpose: the
+//! prelude is the stable public surface, not the whole crate.
+
+pub use crate::decision::{Decider, RoundRobin, Scripted, SeededRandom};
+pub use crate::fuzz::Recording;
+pub use crate::ids::{ProcessId, ProcessorId, Priority};
+pub use crate::kernel::{Kernel, OpRecord, StepReport, SystemSpec};
+pub use crate::machine::{FnMachine, StepCtx, StepMachine, StepOutcome};
+pub use crate::prof::{Hist, Profile};
+pub use crate::program::{Flow, ProgMachine, ProgramBuilder};
+pub use crate::report::{split_timing, validate_cells, Json, Kind};
+pub use crate::scenario::{RunResult, Scenario, DEFAULT_STEP_BUDGET};
+pub use crate::service::{
+    Arrival, Service, ServiceReport, ServiceSpec, ShardPlan, ShardReport,
+};
+pub use crate::sweep::{cross, default_jobs, run_cells};

@@ -182,6 +182,39 @@ impl Hist {
         }
     }
 
+    /// A conservative upper estimate of the `p`-th percentile
+    /// (`0 < p <= 100`): the upper bound of the log bucket holding the
+    /// `ceil(p/100 · count)`-th smallest sample, clamped to the exact
+    /// `[min, max]` range. `None` when the histogram is empty.
+    ///
+    /// Derived entirely from the bucket counts and the exact extrema, so
+    /// it is deterministic and — because [`Hist::merge`] is commutative
+    /// and associative — identical whether the histogram was built
+    /// serially or merged from a parallel sweep. The estimate errs high
+    /// (never low) by at most the width of one log bucket.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let k = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let k = k.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= k {
+                // The largest value bucket `b` admits: 2^b - 1 (bucket 0
+                // holds only the value 0; bucket 64 tops out at u64::MAX).
+                let hi = match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("cumulative bucket counts must reach self.count")
+    }
+
     /// The histogram as a JSON object: exact `count`/`sum`/`min`/`max`
     /// plus the non-empty buckets as `[bucket_lower_bound, count]` pairs.
     pub fn to_json(&self) -> Json {
@@ -1155,6 +1188,56 @@ mod tests {
         assert_eq!(h.counts[3], 2);
         assert_eq!(h.counts[4], 1);
         assert_eq!(h.counts[10], 1);
+    }
+
+    #[test]
+    fn hist_percentile_is_a_clamped_bucket_upper_bound() {
+        let mut h = Hist::new();
+        assert_eq!(h.percentile(50.0), None, "empty histogram has no percentiles");
+        h.record(5);
+        // A single sample: every percentile is that sample (bucket 3 tops
+        // out at 7, but the exact max clamps it back down to 5).
+        assert_eq!(h.percentile(1.0), Some(5));
+        assert_eq!(h.percentile(50.0), Some(5));
+        assert_eq!(h.percentile(100.0), Some(5));
+
+        let mut h = Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 → the 50th sample (value 50), bucket 6 upper bound 63.
+        assert_eq!(h.percentile(50.0), Some(63));
+        // p99/p100 → samples 99/100, bucket 7 upper bound 127, clamped to
+        // the exact max of 100.
+        assert_eq!(h.percentile(99.0), Some(100));
+        assert_eq!(h.percentile(100.0), Some(100));
+        // p1 → the 1st sample (value 1), bucket 1 holds exactly {1}.
+        assert_eq!(h.percentile(1.0), Some(1));
+
+        // All-zero samples sit in bucket 0.
+        let mut z = Hist::new();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.percentile(90.0), Some(0));
+    }
+
+    #[test]
+    fn hist_percentile_agrees_across_merge_order() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [3u64, 17, 130, 1 << 20] {
+            a.record(v);
+        }
+        for v in [0u64, 9, 64] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(ab.percentile(p), ba.percentile(p));
+        }
     }
 
     #[test]

@@ -491,6 +491,45 @@ pub const TIMING_SCHEMA: &[(&str, Kind)] = &[
     ("wall_ms", Kind::Num),
 ];
 
+/// The envelope of a service report line (`BENCH_service.json`): the
+/// standard [`CELL_SCHEMA`] plus the request count, the deterministic
+/// throughput figure (`steps_per_request`), and the request-latency
+/// percentiles (see `sched_sim::service`).
+pub const SERVICE_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
+    ("steps", Kind::Num),
+    ("requests", Kind::Num),
+    ("steps_per_request", Kind::Num),
+    ("p50", Kind::Num),
+    ("p90", Kind::Num),
+    ("p99", Kind::Num),
+];
+
+/// Picks the validation schema for an artifact by its **final path
+/// component** (never the whole path, so a directory named `profile.json/`
+/// or a non-UTF8 parent segment cannot misroute the choice):
+/// `*.timing.json` → [`TIMING_SCHEMA`], `*profile.json` →
+/// [`PROFILE_SCHEMA`], `*native.json` → [`NATIVE_SCHEMA`],
+/// `*service.json` → [`SERVICE_SCHEMA`], anything else → [`CELL_SCHEMA`].
+pub fn schema_for_path(path: &std::path::Path) -> &'static [(&'static str, Kind)] {
+    // `to_string_lossy` on the file name alone: a non-UTF8 byte in the
+    // name maps to U+FFFD, which simply fails all suffix matches and
+    // falls through to the default schema instead of panicking.
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    if name.ends_with(".timing.json") {
+        TIMING_SCHEMA
+    } else if name.ends_with("profile.json") {
+        PROFILE_SCHEMA
+    } else if name.ends_with("native.json") {
+        NATIVE_SCHEMA
+    } else if name.ends_with("service.json") {
+        SERVICE_SCHEMA
+    } else {
+        CELL_SCHEMA
+    }
+}
+
 /// Splits a sweep cell into its canonical payload and its timing sidecar
 /// line: the returned first value is `cell` with every `wall_ms` key
 /// removed (key order otherwise preserved, so artifacts stay
@@ -619,5 +658,49 @@ mod tests {
         let malformed = format!("{}\nnot json\n", cell_line("a"));
         let err = validate_cells(&malformed, CELL_SCHEMA).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn schema_for_path_matches_on_the_final_component_only() {
+        use std::path::Path;
+        // Relative and absolute paths pick the same schema.
+        assert_eq!(schema_for_path(Path::new("BENCH_table1.json")), CELL_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_profile.json")), PROFILE_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_native.json")), NATIVE_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_service.json")), SERVICE_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_service.timing.json")), TIMING_SCHEMA);
+        assert_eq!(
+            schema_for_path(Path::new("/tmp/deep/dir/BENCH_native.json")),
+            NATIVE_SCHEMA
+        );
+        // A *directory* component that looks like an artifact name must not
+        // misroute the file inside it (the bug this helper fixes: suffix
+        // matching on the whole path string).
+        assert_eq!(
+            schema_for_path(Path::new("/runs/profile.json/BENCH_table1.json")),
+            CELL_SCHEMA
+        );
+        assert_eq!(
+            schema_for_path(Path::new("/runs/native.json/out.timing.json")),
+            TIMING_SCHEMA
+        );
+        // No final component at all: the default schema.
+        assert_eq!(schema_for_path(Path::new("/")), CELL_SCHEMA);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn schema_for_path_survives_non_utf8_segments() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        use std::path::PathBuf;
+        // A non-UTF8 *directory* segment must not affect the choice…
+        let mut p = PathBuf::from(OsStr::from_bytes(b"/tmp/\xff\xfe"));
+        p.push("BENCH_service.json");
+        assert_eq!(schema_for_path(&p), SERVICE_SCHEMA);
+        // …and a non-UTF8 *file name* falls back to the default schema
+        // rather than panicking.
+        let odd = PathBuf::from(OsStr::from_bytes(b"/tmp/\xffservice.json\xff"));
+        assert_eq!(schema_for_path(&odd), CELL_SCHEMA);
     }
 }

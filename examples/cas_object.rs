@@ -7,7 +7,7 @@
 
 use hybrid_wf::oracle::{check_linearizable, CasRegOp, CasRegisterSpec, TimedOp};
 use hybrid_wf::uni::cas::{op_machine, CasMem, CasOp};
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use sched_sim::prelude::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
 
 fn main() {
     const INIT: u64 = 100;

@@ -13,9 +13,10 @@
 //! cargo run -p examples --bin interleavings
 //! ```
 
-use sched_sim::machine::{FnMachine, StepOutcome};
+use sched_sim::prelude::{
+    FnMachine, Kernel, ProcessorId, Priority, RoundRobin, StepOutcome, SystemSpec,
+};
 use sched_sim::trace::{render, TraceStyle};
-use sched_sim::{Kernel, ProcessorId, Priority, RoundRobin, SystemSpec};
 
 /// A process performing `invocations` object invocations of `len`
 /// statements each.

@@ -8,7 +8,7 @@
 use hybrid_wf::multi::consensus::{decide_machine, LocalMode, MultiMem};
 use hybrid_wf::multi::failures::summarize;
 use hybrid_wf::multi::ports::PortLayout;
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
+use sched_sim::prelude::{Kernel, ProcessId, ProcessorId, Priority, SeededRandom, SystemSpec};
 
 fn main() {
     // Three processors; objects of consensus number 4 (so K = 1: cpu0 gets

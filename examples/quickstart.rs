@@ -8,7 +8,7 @@
 
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use sched_sim::history::check_well_formed;
-use sched_sim::{ProcessorId, Priority, Scenario, SystemSpec};
+use sched_sim::prelude::{ProcessorId, Priority, Scenario, SystemSpec};
 
 fn main() {
     // A hybrid-scheduled uniprocessor with quantum Q = 8 statements.

@@ -12,7 +12,7 @@
 use hybrid_wf::baseline::locks::{inc_machine, LockMem};
 use hybrid_wf::oracle::QueueOp;
 use hybrid_wf::universal::{consumer_ops, op_machine, producer_ops, QueueSpec, UniversalMem};
-use sched_sim::{Kernel, ProcessId, ProcessorId, Priority, RoundRobin, SystemSpec};
+use sched_sim::prelude::{Kernel, ProcessId, ProcessorId, Priority, RoundRobin, SystemSpec};
 
 fn main() {
     println!("Scenario: a sensor task (prio 1) feeds a control task (prio 3)");

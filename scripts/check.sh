@@ -89,4 +89,22 @@ else
   target/release/experiments --validate "$smoke_dir/BENCH_native.timing.json"
 fi
 
+echo "== service smoke (experiments --service --smoke --jobs 2) + artifact validation =="
+# The request-serving workload engine: the (object, arrival) service grid
+# at CI scale, parallel, gated against the committed BENCH_service.json.
+# The gate compares steps_per_request — fully deterministic, so it is
+# immune to machine speed; it fails only if an algorithmic or scheduling
+# change made requests cost > 1/0.70x the committed baseline, or if a
+# configuration exhausted its step budget. Set SKIP_SERVICE_GATE=1 to
+# skip the baseline comparison (the smoke run and schema validation
+# still execute).
+if [[ -n "${SKIP_SERVICE_GATE:-}" ]]; then
+  (cd "$smoke_dir" && ../../target/release/experiments --service --smoke --jobs 2 > /dev/null)
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --service --smoke --jobs 2 \
+      --service-baseline ../../BENCH_service.json > /dev/null)
+fi
+target/release/experiments --validate "$smoke_dir/BENCH_service.json"
+target/release/experiments --validate "$smoke_dir/BENCH_service.timing.json"
+
 echo "All checks passed."

@@ -1,0 +1,45 @@
+//! The service engine's headline guarantee, pinned across crates: the
+//! full (object, arrival) grid behind `experiments --service` produces
+//! **bit-identical canonical artifact lines** for every `--jobs` value.
+//!
+//! The canonical payload is everything `write_artifact` commits — kind,
+//! cell, steps, requests, `steps_per_request`, latency percentiles,
+//! per-priority splits — with only the `wall_ms` timing metadata stripped
+//! (`sched_sim::report::split_timing`), exactly as the artifact writer
+//! does. This is what lets a `BENCH_service.json` regenerated on any
+//! machine at any parallelism match the committed artifact byte for byte.
+
+use lowerbound::service::{grid, run_grid};
+use sched_sim::prelude::{split_timing, Json};
+
+/// Renders lines the way the artifact writer commits them: canonical
+/// payload only, wall times stripped.
+fn canonical(lines: &[Json]) -> Vec<String> {
+    lines.iter().map(|l| split_timing(l).0.to_string()).collect()
+}
+
+#[test]
+fn service_grid_is_bit_identical_across_jobs() {
+    let serial = run_grid(1, true);
+
+    // The payload is non-trivial: every config contributes its shard lines
+    // plus a total, and the totals really carry latency distributions.
+    let configs = grid(true);
+    let shard_lines: usize = configs.iter().map(|c| c.shards as usize).sum();
+    assert_eq!(serial.len(), shard_lines + configs.len());
+    let totals: Vec<&Json> = serial
+        .iter()
+        .filter(|l| l.get("kind").and_then(Json::as_str) == Some("service_total"))
+        .collect();
+    assert_eq!(totals.len(), configs.len());
+    for t in &totals {
+        assert!(t.get("p99").and_then(Json::as_u64).is_some(), "{t}");
+        assert_eq!(t.get("all_finished"), Some(&Json::Bool(true)), "{t}");
+    }
+
+    // The guarantee itself: jobs = 2 and jobs = 4 merge to the same bytes.
+    let one = canonical(&serial);
+    for jobs in [2usize, 4] {
+        assert_eq!(one, canonical(&run_grid(jobs, true)), "jobs = {jobs} diverged from serial");
+    }
+}
