@@ -1,0 +1,47 @@
+//! The frontier-sharded explorer: serial vs parallel throughput and the
+//! payoff of symmetry / partial-order reduction.
+//!
+//! Three cases per workload: the serial DFS, the sharded parallel DFS at
+//! 4 workers (on a single hardware thread this measures coordination
+//! overhead — the determinism tests guarantee the *answers* are
+//! bit-identical, so any multi-core speedup comes free), and the reduced
+//! search, whose win is algorithmic (fewer states) rather than mechanical
+//! and therefore shows up even on one core.
+
+use bench::group;
+use lowerbound::explore_grid::{fig3_kernel, pair_kernel};
+use sched_sim::explore::{explore_parallel, ExploreBounds, Verdict};
+
+fn main() {
+    let mut g = group("explore_parallel");
+    let fig3 = fig3_kernel(8, &[1, 2, 3]);
+    g.bench("fig3_3p/serial", || {
+        explore_parallel(&fig3, ExploreBounds::default(), 1, |_| Verdict::KeepGoing).steps
+    });
+    g.bench("fig3_3p/jobs4", || {
+        explore_parallel(&fig3, ExploreBounds::default(), 4, |_| Verdict::KeepGoing).steps
+    });
+
+    let sym = fig3_kernel(8, &[7, 7, 7, 7]);
+    g.bench("fig3_4p_sym/serial", || {
+        explore_parallel(&sym, ExploreBounds::default(), 1, |_| Verdict::KeepGoing).steps
+    });
+    g.bench("fig3_4p_sym/sym+por", || {
+        explore_parallel(&sym, ExploreBounds::default().reduced(), 1, |_| Verdict::KeepGoing)
+            .steps
+    });
+
+    let pair = pair_kernel(8, 2);
+    g.bench("fig3_pair_2x2/serial", || {
+        explore_parallel(&pair, ExploreBounds::default(), 1, |_| Verdict::KeepGoing).steps
+    });
+    g.bench("fig3_pair_2x2/por", || {
+        explore_parallel(
+            &pair,
+            ExploreBounds { por: true, ..ExploreBounds::default() },
+            1,
+            |_| Verdict::KeepGoing,
+        )
+        .steps
+    });
+}

@@ -273,6 +273,7 @@ pub fn append_decide_proc<M: AsMultiMem>(
     let local_decide = append_decide(
         b,
         "local-consensus (Fig. 3)",
+        u64::MAX, // per-(cpu, port) cell chosen at run time: whole memory
         |m: &mut M, l: &MultiLocals| {
             &mut m.mm().local_cells[l.cpu as usize][l.port as usize]
         },

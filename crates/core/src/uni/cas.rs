@@ -369,6 +369,7 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     let decide_nxt = append_decide(
         &mut b,
         "decide-nxt",
+        u64::MAX, // cell chosen at run time: whole-memory over-approximation
         |m, l| &mut m.cell_nxt[l.nxt_id as usize][l.nxt_tag as usize],
         |l| pack_ptr(l.me, l.tag),
         |l| &mut l.dec,
@@ -377,6 +378,7 @@ pub fn build_program() -> (Arc<Program<CasLocals, CasMem>>, CasEntries) {
     let read_nxt = append_read(
         &mut b,
         "read-nxt",
+        u64::MAX, // cell chosen at run time: whole-memory over-approximation
         |m: &mut CasMem, l: &CasLocals| &mut m.cell_nxt[l.nxt_id as usize][l.nxt_tag as usize],
         |l| &mut l.dec,
         |l| &l.dec,
@@ -1209,7 +1211,7 @@ mod tests {
         let plans2 = plans.clone();
         let stats = check_all_schedules(
             &k,
-            ExploreBounds { max_depth: 4000, max_total_steps: 20_000_000 },
+            ExploreBounds { max_depth: 4000, max_total_steps: 20_000_000, ..ExploreBounds::default() },
             |k| {
                 if !k.all_finished() {
                     return Some("not finished at quiescence".into());
@@ -1219,7 +1221,7 @@ mod tests {
             },
         )
         .unwrap_or_else(|e| panic!("{e}"));
-        assert!(!stats.truncated, "exploration truncated: {stats:?}");
+        assert!(!stats.truncated(), "exploration truncated: {stats:?}");
         assert!(stats.terminals > 10);
     }
 

@@ -37,6 +37,7 @@
 
 use std::sync::Arc;
 
+use sched_sim::machine::Footprint;
 use sched_sim::program::{Flow, ProcRef, ProgMachine, Program, ProgramBuilder};
 use wfmem::Val;
 
@@ -65,6 +66,13 @@ pub struct DecideScratch {
 /// performs consensus on the `nxt` field of a list cell chosen at run time,
 /// so the cell accessor receives both the memory and the locals.
 ///
+/// * `cell_mask` — the abstract-footprint bitmask covering every shared
+///   cell `cell` may ever select (see [`Footprint`]): statements 3 and 7
+///   are declared as reads of it and statements 4–6 as read-writes, which
+///   lets the explorer's partial-order reduction commute `decide` steps on
+///   disjoint objects. Must **over-approximate**: callers selecting the
+///   cell dynamically pass `u64::MAX` (whole memory — always sound, still
+///   commutes against purely-local steps);
 /// * `cell` — selects the three-slot array (`P[1..3]`) to operate on;
 /// * `input` — reads the proposal (`val`) from the locals;
 /// * `scratch` — projects the [`DecideScratch`] out of the locals.
@@ -74,6 +82,7 @@ pub struct DecideScratch {
 pub fn append_decide<L, M>(
     b: &mut ProgramBuilder<L, M>,
     name: &str,
+    cell_mask: u64,
     cell: impl for<'a> Fn(&'a mut M, &L) -> &'a mut ConsensusCell + Send + Sync + 'static,
     input: impl Fn(&L) -> Val + Send + Sync + 'static,
     scratch: impl Fn(&mut L) -> &mut DecideScratch + Send + Sync + 'static,
@@ -90,7 +99,7 @@ where
     {
         let scratch = scratch.clone();
         let input = input.clone();
-        b.stmt(p, "1: v := val", move |l, _m| {
+        b.stmt_fp(p, "1: v := val", Footprint::LOCAL, move |l, _m| {
             let v = input(l);
             let s = scratch(l);
             s.v = v;
@@ -102,7 +111,7 @@ where
     {
         let scratch = scratch.clone();
         let cell = cell.clone();
-        b.stmt(p, "3: w := P[i]", move |l, m| {
+        b.stmt_fp(p, "3: w := P[i]", Footprint::reads(cell_mask), move |l, m| {
             let i = scratch(l).i as usize;
             let w = cell(m, l)[i - 1];
             scratch(l).w = w;
@@ -112,7 +121,7 @@ where
     {
         let scratch = scratch.clone();
         let cell = cell.clone();
-        b.stmt(p, "4-6: if w ≠ ⊥ then v := w else P[i] := v", move |l, m| {
+        b.stmt_fp(p, "4-6: if w ≠ ⊥ then v := w else P[i] := v", Footprint::rw(cell_mask), move |l, m| {
             let s = scratch(l);
             let (i, v, w) = (s.i as usize, s.v, s.w);
             match w {
@@ -133,7 +142,7 @@ where
     {
         let scratch = scratch.clone();
         let cell = cell.clone();
-        b.stmt(p, "7: return P[3]", move |l, m| {
+        b.stmt_fp(p, "7: return P[3]", Footprint::reads(cell_mask), move |l, m| {
             let r = cell(m, l)[2];
             debug_assert!(r.is_some(), "P[3] must be set when statement 7 runs");
             scratch(l).ret = r;
@@ -153,6 +162,7 @@ where
 pub fn append_read<L, M>(
     b: &mut ProgramBuilder<L, M>,
     name: &str,
+    cell_mask: u64,
     cell: impl for<'a> Fn(&'a mut M, &L) -> &'a mut ConsensusCell + Send + Sync + Clone + 'static,
     scratch: impl Fn(&mut L) -> &mut DecideScratch + Send + Sync + Clone + 'static,
     peek_scratch: impl Fn(&L) -> &DecideScratch + Send + Sync + 'static,
@@ -165,12 +175,13 @@ where
     let decide = append_decide(
         b,
         &format!("{name}.decide"),
+        cell_mask,
         cell.clone(),
         move |l| peek_scratch(l).w.expect("decide called only after P[1] ≠ ⊥"),
         scratch.clone(),
     );
     let p = b.proc(name);
-    b.stmt(p, "read: if P[1] = ⊥ then return ⊥ else decide(P[1])", move |l, m| {
+    b.stmt_fp(p, "read: if P[1] = ⊥ then return ⊥ else decide(P[1])", Footprint::reads(cell_mask), move |l, m| {
         let w = cell(m, l)[0];
         let s = scratch(l);
         s.w = w;
@@ -182,7 +193,7 @@ where
             Some(_) => Flow::Call(decide),
         }
     });
-    b.stmt(p, "read: return decided value", |_l, _m| Flow::Return);
+    b.stmt_fp(p, "read: return decided value", Footprint::LOCAL, |_l, _m| Flow::Return);
     p
 }
 
@@ -216,6 +227,7 @@ pub fn decide_program() -> (Arc<Program<UniConsensusLocals, UniConsensusMem>>, P
     let p = append_decide(
         &mut b,
         "decide",
+        0b1, // the standalone memory is a single consensus cell
         |m: &mut UniConsensusMem, _l: &UniConsensusLocals| &mut m.p,
         |l| l.val,
         |l| &mut l.s,
@@ -337,7 +349,7 @@ mod tests {
             check_all_schedules(&k, ExploreBounds::default(), |k| consensus_property(k, &[1, 2]))
                 .expect("Lemma 1 must hold for Q = 8");
         assert!(stats.terminals > 1, "expected multiple distinct schedules");
-        assert!(!stats.truncated);
+        assert!(!stats.truncated());
     }
 
     /// Lemma 1 with three processes across two priority levels.
@@ -351,7 +363,7 @@ mod tests {
             consensus_property(k, &[1, 2, 3])
         })
         .expect("Lemma 1 must hold for Q = 8");
-        assert!(!stats.truncated);
+        assert!(!stats.truncated());
     }
 
     /// Tightness: with a tiny quantum (free interleaving among equal
@@ -402,6 +414,7 @@ mod tests {
         let read = append_read(
             &mut b,
             "read",
+            0b1,
             |m: &mut UniConsensusMem, _l: &L| &mut m.p,
             |l| &mut l.s,
             |l| &l.s,
@@ -440,6 +453,7 @@ mod tests {
         let read = append_read(
             &mut b,
             "read",
+            0b1,
             |m: &mut UniConsensusMem, _l: &L| &mut m.p,
             |l| &mut l.s,
             |l| &l.s,

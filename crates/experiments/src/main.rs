@@ -81,7 +81,7 @@ use lowerbound::profile::{
 };
 use lowerbound::valency::{bivalent_chain_depth, bivalent_chain_probe};
 use sched_sim::decision::RoundRobin;
-use sched_sim::explore::{check_all_schedules, explore, ExploreBounds, Verdict};
+use sched_sim::explore::{check_all_schedules, explore, explore_parallel, ExploreBounds, Verdict};
 use sched_sim::ids::{ProcessId, ProcessorId, Priority};
 use sched_sim::kernel::SystemSpec;
 use sched_sim::report::{
@@ -102,6 +102,8 @@ struct RunArgs {
     perf_baseline: Option<String>,
     /// Committed `BENCH_service.json` to gate `--service` against.
     service_baseline: Option<String>,
+    /// Committed `BENCH_explore.json` to gate `--explore` against.
+    explore_baseline: Option<String>,
     /// Directory for shrunk fuzz counterexamples (`--fuzz-dir DIR`).
     fuzz_dir: String,
 }
@@ -109,8 +111,14 @@ struct RunArgs {
 impl RunArgs {
     /// Options (flags that consume the next argument, plus `--smoke`);
     /// everything else starting with `--` selects an experiment.
-    const OPTS: [&'static str; 5] =
-        ["--jobs", "--smoke", "--perf-baseline", "--service-baseline", "--fuzz-dir"];
+    const OPTS: [&'static str; 6] = [
+        "--jobs",
+        "--smoke",
+        "--perf-baseline",
+        "--service-baseline",
+        "--explore-baseline",
+        "--fuzz-dir",
+    ];
 
     fn parse(args: &[String]) -> Self {
         let value_of = |flag: &str| {
@@ -128,6 +136,7 @@ impl RunArgs {
             smoke: args.iter().any(|a| a == "--smoke"),
             perf_baseline: value_of("--perf-baseline"),
             service_baseline: value_of("--service-baseline"),
+            explore_baseline: value_of("--explore-baseline"),
             fuzz_dir: value_of("--fuzz-dir").unwrap_or_else(|| "tests/golden/fuzz".to_string()),
         }
     }
@@ -276,8 +285,23 @@ fn main() {
         write_artifact("BENCH_service.json", &lines);
         service_ok = ok;
     }
+    // Exhaustive exploration at scale: the parallel/reduced explorer grid.
+    // Explicit-only (the full grid model-checks multi-million-state trees);
+    // gated against the committed baseline like --perf.
+    if flags.iter().any(|a| *a == "--explore") {
+        let (cells, ok) = explore_grid_report(run.jobs, run.smoke);
+        write_artifact("BENCH_explore.json", &cells);
+        if !ok {
+            std::process::exit(1);
+        }
+        if let Some(base) = &run.explore_baseline {
+            if !perf_gate(&cells, base) {
+                std::process::exit(1);
+            }
+        }
+    }
     if want("--perf") {
-        let cells = perf(run.smoke);
+        let cells = perf(run.smoke, run.jobs);
         write_artifact("BENCH_perf.json", &cells);
         if let Some(base) = &run.perf_baseline {
             if !perf_gate(&cells, base) {
@@ -1093,7 +1117,76 @@ fn indent(s: &str, pad: &str) -> String {
 /// valency probe, and the Table 1 (P, C) × Q grid. `smoke` shrinks every
 /// workload for CI; rates stay comparable because the per-statement work is
 /// identical.
-fn perf(smoke: bool) -> Vec<Json> {
+/// Runs the exhaustive-exploration grid (`lowerbound::explore_grid`) and
+/// prints the scaling summary: per-mode throughput plus each workload's
+/// visited-state reduction factor (unreduced ÷ reduced). Returns the
+/// artifact rows and whether verification held — every *reduced* row must
+/// be verified (their budgets are sized to complete), and no row may
+/// report a property violation (unverified without truncation). Unreduced
+/// rows truncated at their step budget are expected on the largest
+/// workload: that is the cell exhaustive verification newly reaches
+/// through reduction.
+fn explore_grid_report(jobs: usize, smoke: bool) -> (Vec<Json>, bool) {
+    println!(
+        "── Exhaustive exploration at scale ({} grid, {jobs} jobs) ──",
+        if smoke { "smoke" } else { "full" }
+    );
+    let rows = lowerbound::explore_grid::run_grid(jobs, smoke);
+    let mut ok = true;
+    for row in &rows {
+        let s = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let n = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let kind = s("kind");
+        let workload = row
+            .get("cell")
+            .and_then(|c| c.get("workload"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let verified = row.get("verified") == Some(&Json::Bool(true));
+        let truncation = s("truncation");
+        let rate = row.get("steps_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "    {workload:>14} {kind:<19} {:>12} steps {:>10} visited  {:>11.0} steps/s  [{}]",
+            n("steps"),
+            n("visited"),
+            rate,
+            if verified { "verified" } else { &truncation }
+        );
+        let reduced_row = kind.starts_with("explore_reduced");
+        let violation = truncation == "none" && !verified;
+        if (reduced_row && !verified) || violation {
+            eprintln!("    ^^ FAILED: {row}");
+            ok = false;
+        }
+    }
+    // Per-workload state-space reduction factor.
+    for cfg in lowerbound::explore_grid::grid(smoke) {
+        let visited = |kind: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.get("kind").and_then(Json::as_str) == Some(kind)
+                        && r.get("cell").and_then(|c| c.get("workload")).and_then(Json::as_str)
+                            == Some(cfg.name)
+                })
+                .and_then(|r| r.get("visited"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let (u, r) = (visited("explore_serial"), visited("explore_reduced"));
+        if r > 0 {
+            println!(
+                "    {:>14} reduction: {u} → {r} visited states ({:.1}×)",
+                cfg.name,
+                u as f64 / r as f64
+            );
+        }
+    }
+    println!();
+    (rows, ok)
+}
+
+fn perf(smoke: bool, jobs: usize) -> Vec<Json> {
     println!(
         "── Throughput: simulated statements per second ({} workloads) ──",
         if smoke { "smoke" } else { "full" }
@@ -1111,41 +1204,50 @@ fn perf(smoke: bool) -> Vec<Json> {
     let mut lines = Vec::new();
 
     // 1. Exhaustive schedule exploration (the Lemma 1 model-checking path).
+    //    Each workload runs through the serial path (`perf_explore`) and
+    //    the frontier-sharded parallel path (`perf_explore_par`), as an
+    //    A/B over the same schedule trees. Distinct kinds keep each mode's
+    //    steps under its own wall time, so neither rate double-counts.
     let explore_reps = if smoke { 20u64 } else { 400 };
+    let par_jobs = jobs.max(2);
     for (name, q, inputs) in [
         ("fig3_q8_2p", MIN_QUANTUM, vec![(1u64, 1u32), (2, 1)]),
         ("fig3_q8_3p", MIN_QUANTUM, vec![(1, 1), (2, 1), (3, 2)]),
         ("fig3_q1_2p", 1, vec![(1, 1), (2, 1)]),
     ] {
         let k = mk(q, &inputs);
-        let mut steps = 0u64;
-        let mut terminals = 0u64;
-        let mut deduped = 0u64;
-        let t0 = Instant::now();
-        for _ in 0..explore_reps {
-            let stats = explore(&k, ExploreBounds::default(), |_| Verdict::KeepGoing);
-            steps += stats.steps;
-            terminals = stats.terminals;
-            deduped = stats.deduped;
+        for (kind, mode_jobs) in [("perf_explore", 1usize), ("perf_explore_par", par_jobs)] {
+            let mut steps = 0u64;
+            let mut terminals = 0u64;
+            let mut deduped = 0u64;
+            let t0 = Instant::now();
+            for _ in 0..explore_reps {
+                let stats =
+                    explore_parallel(&k, ExploreBounds::default(), mode_jobs, |_| Verdict::KeepGoing);
+                steps += stats.steps;
+                terminals = stats.terminals;
+                deduped = stats.deduped;
+            }
+            let wall = t0.elapsed();
+            println!(
+                "    explore {name} (jobs {mode_jobs}): {steps} statements in {:.1} ms → {:.0} steps/s",
+                wall.as_secs_f64() * 1e3,
+                rate(steps, wall)
+            );
+            lines.push(Json::obj([
+                ("kind", Json::from(kind)),
+                ("cell", Json::obj([
+                    ("workload", Json::from(name)),
+                    ("reps", Json::from(explore_reps)),
+                    ("jobs", Json::from(mode_jobs as u64)),
+                ])),
+                ("steps", Json::from(steps)),
+                ("wall_ms", Json::from(wall_ms(wall))),
+                ("steps_per_sec", Json::from(rate(steps, wall))),
+                ("terminals", Json::from(terminals)),
+                ("deduped", Json::from(deduped)),
+            ]));
         }
-        let wall = t0.elapsed();
-        println!(
-            "    explore {name}: {steps} statements in {:.1} ms → {:.0} steps/s",
-            wall.as_secs_f64() * 1e3,
-            rate(steps, wall)
-        );
-        lines.push(Json::obj([
-            ("kind", Json::from("perf_explore")),
-            ("cell", Json::obj([
-                ("workload", Json::from(name)),
-                ("reps", Json::from(explore_reps)),
-            ])),
-            ("steps", Json::from(steps)),
-            ("wall_ms", Json::from(wall_ms(wall))),
-            ("steps_per_sec", Json::from(rate(steps, wall))),
-            ("terminals", Json::from(terminals)),
-            ("deduped", Json::from(deduped)),
-        ]));
     }
 
     // 2. The Fig. 10 valency probe (bivalent chain search).

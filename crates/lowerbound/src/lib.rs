@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod explore_grid;
 pub mod fig6;
 pub mod fuzz;
 pub mod native;

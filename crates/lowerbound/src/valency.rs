@@ -11,8 +11,9 @@
 
 use std::collections::BTreeSet;
 use std::hash::Hash;
+use std::sync::Mutex;
 
-use sched_sim::explore::{explore, ExploreBounds, Verdict};
+use sched_sim::explore::{explore, explore_parallel, ExploreBounds, Verdict};
 use sched_sim::ids::ProcessId;
 use sched_sim::kernel::{Kernel, StepAttempt};
 
@@ -43,6 +44,41 @@ fn decisions_counting<M: Clone + Hash>(
     });
     *steps += stats.steps;
     out
+}
+
+/// [`reachable_decisions`] with each valence exploration fanned out over
+/// `jobs` workers of [`explore_parallel`].
+///
+/// Partial-order reduction ([`ExploreBounds::por`]) is sound here — the
+/// valence is a function of the quiescent-state set, which POR preserves
+/// exactly. Symmetry reduction is **not**: the valence reads the output of
+/// process 0 specifically, which is not invariant under process
+/// permutation, so callers must leave [`ExploreBounds::symmetry`] off.
+pub fn reachable_decisions_jobs<M: Clone + Hash + Send>(
+    k: &Kernel<M>,
+    bounds: ExploreBounds,
+    jobs: usize,
+) -> BTreeSet<u64> {
+    let mut steps = 0u64;
+    decisions_counting_jobs(k, bounds, jobs, &mut steps)
+}
+
+/// Parallel twin of [`decisions_counting`]: same valence, `jobs` workers.
+fn decisions_counting_jobs<M: Clone + Hash + Send>(
+    k: &Kernel<M>,
+    bounds: ExploreBounds,
+    jobs: usize,
+    steps: &mut u64,
+) -> BTreeSet<u64> {
+    let out = Mutex::new(BTreeSet::new());
+    let stats = explore_parallel(k, bounds, jobs, |k| {
+        if let Some(v) = k.output(ProcessId(0)) {
+            out.lock().expect("valence set poisoned").insert(v);
+        }
+        Verdict::KeepGoing
+    });
+    *steps += stats.steps;
+    out.into_inner().expect("valence set poisoned")
 }
 
 /// Whether the state is bivalent (at least two reachable decisions).
@@ -83,10 +119,34 @@ pub fn bivalent_chain_probe<M: Clone + Hash>(
     depth: u32,
     bounds: ExploreBounds,
 ) -> ChainProbe {
+    chain_probe_with(k, depth, |k2, steps| decisions_counting(k2, bounds, steps))
+}
+
+/// [`bivalent_chain_probe`] with each valence exploration fanned out over
+/// `jobs` workers. The chain search itself stays serial (each level depends
+/// on the previous one); the parallelism is inside the per-state valence
+/// explorations, which dominate the work. Same symmetry caveat as
+/// [`reachable_decisions_jobs`].
+pub fn bivalent_chain_probe_jobs<M: Clone + Hash + Send>(
+    k: &Kernel<M>,
+    depth: u32,
+    bounds: ExploreBounds,
+    jobs: usize,
+) -> ChainProbe {
+    chain_probe_with(k, depth, |k2, steps| decisions_counting_jobs(k2, bounds, jobs, steps))
+}
+
+/// The level-by-level chain search, generic over how a state's valence is
+/// computed (serial or parallel exploration).
+fn chain_probe_with<M: Clone + Hash>(
+    k: &Kernel<M>,
+    depth: u32,
+    mut valence: impl FnMut(&Kernel<M>, &mut u64) -> BTreeSet<u64>,
+) -> ChainProbe {
     let mut steps = 0u64;
     let mut cur = k.clone();
     for d in 0..depth {
-        if decisions_counting(&cur, bounds, &mut steps).len() < 2 {
+        if valence(&cur, &mut steps).len() < 2 {
             return ChainProbe { depth: d, steps };
         }
         // Enumerate one-statement successors across all choices.
@@ -97,7 +157,7 @@ pub fn bivalent_chain_probe<M: Clone + Hash>(
             match k2.step_scripted(&script) {
                 StepAttempt::Stepped(_) => {
                     steps += 1;
-                    if decisions_counting(&k2, bounds, &mut steps).len() >= 2 {
+                    if valence(&k2, &mut steps).len() >= 2 {
                         found = Some(k2);
                         break;
                     }
@@ -141,6 +201,35 @@ mod tests {
         let k = fig3_kernel(MIN_QUANTUM);
         let d = reachable_decisions(&k, ExploreBounds::default());
         assert_eq!(d.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_valence_matches_serial() {
+        let k = fig3_kernel(MIN_QUANTUM);
+        let serial = reachable_decisions(&k, ExploreBounds::default());
+        for jobs in [1, 2, 4] {
+            assert_eq!(
+                reachable_decisions_jobs(&k, ExploreBounds::default(), jobs),
+                serial,
+                "jobs={jobs}"
+            );
+        }
+        let probe = bivalent_chain_probe(&k, 8, ExploreBounds::default());
+        assert_eq!(bivalent_chain_probe_jobs(&k, 8, ExploreBounds::default(), 4), probe);
+    }
+
+    #[test]
+    fn por_preserves_valence() {
+        // POR preserves the quiescent-state set, hence the valence — and
+        // with it every chain-probe depth.
+        let k = fig3_kernel(MIN_QUANTUM);
+        let plain = reachable_decisions(&k, ExploreBounds::default());
+        let por = ExploreBounds { por: true, ..ExploreBounds::default() };
+        assert_eq!(reachable_decisions(&k, por), plain);
+        assert_eq!(
+            bivalent_chain_depth(&k, 16, por),
+            bivalent_chain_depth(&k, 16, ExploreBounds::default())
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::Arc;
 use crate::decision::{Choice, Decider};
 use crate::history::{Event, EventKind, History, ProcInfo, StmtEffect};
 use crate::ids::{ProcessId, ProcessorId, Priority};
-use crate::machine::{StepCtx, StepMachine, StepOutcome};
+use crate::machine::{Footprint, StepCtx, StepMachine, StepOutcome};
 use crate::obs::{DecisionKind, ObsCounters, ObsEvent, Trace, WindowCloseReason};
 use crate::prof::Profile;
 use crate::sym::{Interner, Sym};
@@ -283,10 +283,42 @@ pub struct Kernel<M> {
     /// while `track_hash` is set (see [`Kernel::track_state_hash`]) so
     /// decider-driven runs that never hash pay nothing.
     track_hash: bool,
+    hash_cfg: HashCfg,
     proc_hash: Vec<u64>,
     win_hash: Vec<u64>,
     hash_acc: u64,
+    /// Second accumulator under an independent seed, maintained only when
+    /// [`HashCfg::wide`] is set (the explorer's opt-in 128-bit dedup keys).
+    proc_hash2: Vec<u64>,
+    win_hash2: Vec<u64>,
+    hash_acc2: u64,
 }
+
+/// Configuration for [`Kernel::track_state_hash_cfg`].
+///
+/// `symmetric` switches [`Kernel::state_hash`] to a *canonical* hash,
+/// invariant under priority-preserving permutations of processes within a
+/// processor and under permutations of whole processors: two states that
+/// differ only by such a relabeling hash identically, so the explorer
+/// visits one representative per orbit. **Soundness is the caller's
+/// obligation**: the shared memory must contain no per-process data (the
+/// canonicalization permutes machines, not memory) and machine behavior
+/// must not depend on [`StepCtx::pid`]. Fig. 3's value-cell memory
+/// qualifies; the universal construction's pid-indexed arrays do not.
+///
+/// `wide` additionally maintains a second, independently seeded hash so
+/// [`Kernel::state_hash_wide`] yields 128-bit dedup keys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HashCfg {
+    /// Canonicalize under process/processor symmetry (see above).
+    pub symmetric: bool,
+    /// Maintain a second independent 64-bit hash (128-bit dedup keys).
+    pub wide: bool,
+}
+
+/// Domain-separation seed for the second hash of [`HashCfg::wide`]; the
+/// primary hash uses seed 0.
+const WIDE_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl<M: Clone> Clone for Kernel<M> {
     fn clone(&self) -> Self {
@@ -324,9 +356,13 @@ impl<M: Clone> Clone for Kernel<M> {
             scratch_cpus: Vec::new(),
             scratch_cands: Vec::new(),
             track_hash: self.track_hash,
+            hash_cfg: self.hash_cfg,
             proc_hash: self.proc_hash.clone(),
             win_hash: self.win_hash.clone(),
             hash_acc: self.hash_acc,
+            proc_hash2: self.proc_hash2.clone(),
+            win_hash2: self.win_hash2.clone(),
+            hash_acc2: self.hash_acc2,
         }
     }
 }
@@ -357,9 +393,13 @@ impl<M> Kernel<M> {
             scratch_cpus: Vec::new(),
             scratch_cands: Vec::new(),
             track_hash: false,
+            hash_cfg: HashCfg::default(),
             proc_hash: Vec::new(),
             win_hash: Vec::new(),
             hash_acc: 0,
+            proc_hash2: Vec::new(),
+            win_hash2: Vec::new(),
+            hash_acc2: 0,
         }
     }
 
@@ -936,10 +976,12 @@ impl<M> Kernel<M> {
 
     /// Component hash of one process's scheduling-relevant state, salted
     /// with its index and a domain tag so components of different processes
-    /// (and of window lists) cannot cancel under the XOR fold.
-    fn proc_component(p: &ProcEntry<M>, index: usize) -> u64 {
+    /// (and of window lists) cannot cancel under the XOR fold. `seed`
+    /// domain-separates the second hash of [`HashCfg::wide`].
+    fn proc_component(p: &ProcEntry<M>, index: usize, seed: u64) -> u64 {
         let mut h = DefaultHasher::new();
         0xA5u8.hash(&mut h);
+        seed.hash(&mut h);
         index.hash(&mut h);
         p.machine.state_key(&mut h);
         (p.status == Status::Ready).hash(&mut h);
@@ -949,10 +991,26 @@ impl<M> Kernel<M> {
         h.finish()
     }
 
+    /// Index-free process descriptor for the symmetry-canonical hash: two
+    /// processes with identical machine state and status get identical
+    /// descriptors, making them interchangeable in the canonical fold.
+    fn proc_desc(p: &ProcEntry<M>, seed: u64) -> u64 {
+        let mut h = DefaultHasher::new();
+        0xC3u8.hash(&mut h);
+        seed.hash(&mut h);
+        p.machine.state_key(&mut h);
+        (p.status == Status::Ready).hash(&mut h);
+        (p.status == Status::Finished).hash(&mut h);
+        p.mid_invocation.hash(&mut h);
+        p.ever_dispatched.hash(&mut h);
+        h.finish()
+    }
+
     /// Component hash of one processor's open windows.
-    fn win_component(ws: &[Window], cpu_index: usize) -> u64 {
+    fn win_component(ws: &[Window], cpu_index: usize, seed: u64) -> u64 {
         let mut h = DefaultHasher::new();
         0x5Au8.hash(&mut h);
+        seed.hash(&mut h);
         cpu_index.hash(&mut h);
         for w in ws {
             if w.open {
@@ -965,15 +1023,30 @@ impl<M> Kernel<M> {
         h.finish()
     }
 
-    /// Rebuilds the component tables and accumulator from scratch.
+    /// Rebuilds the component tables and accumulator(s) from scratch.
     fn rebuild_hash_acc(&mut self) {
         self.proc_hash.clear();
         self.proc_hash
-            .extend(self.procs.iter().enumerate().map(|(i, p)| Self::proc_component(p, i)));
+            .extend(self.procs.iter().enumerate().map(|(i, p)| Self::proc_component(p, i, 0)));
         self.win_hash.clear();
         self.win_hash
-            .extend(self.windows.iter().enumerate().map(|(i, ws)| Self::win_component(ws, i)));
+            .extend(self.windows.iter().enumerate().map(|(i, ws)| Self::win_component(ws, i, 0)));
         self.hash_acc = self.proc_hash.iter().chain(&self.win_hash).fold(0, |a, c| a ^ c);
+        if self.hash_cfg.wide {
+            self.proc_hash2.clear();
+            self.proc_hash2.extend(
+                self.procs.iter().enumerate().map(|(i, p)| Self::proc_component(p, i, WIDE_SEED)),
+            );
+            self.win_hash2.clear();
+            self.win_hash2.extend(
+                self.windows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ws)| Self::win_component(ws, i, WIDE_SEED)),
+            );
+            self.hash_acc2 =
+                self.proc_hash2.iter().chain(&self.win_hash2).fold(0, |a, c| a ^ c);
+        }
     }
 
     /// Turns on incremental [`Kernel::state_hash`] maintenance: after this,
@@ -982,61 +1055,225 @@ impl<M> Kernel<M> {
     /// explorer enables this on its root clone; decider-driven runs that
     /// never hash skip the bookkeeping entirely. Clones inherit the flag.
     pub fn track_state_hash(&mut self) {
-        self.track_hash = true;
-        self.rebuild_hash_acc();
+        self.track_state_hash_cfg(HashCfg::default());
+    }
+
+    /// Like [`Kernel::track_state_hash`], with an explicit [`HashCfg`].
+    ///
+    /// With `symmetric` set, the canonical hash is recomputed per
+    /// [`Kernel::state_hash`] call (an O(processes + windows) sort-and-fold
+    /// — canonicalization has no incremental form); otherwise the usual
+    /// incremental accumulator is maintained, twice over when `wide` is
+    /// set.
+    pub fn track_state_hash_cfg(&mut self, cfg: HashCfg) {
+        self.hash_cfg = cfg;
+        self.track_hash = !cfg.symmetric;
+        if self.track_hash {
+            self.rebuild_hash_acc();
+        }
     }
 
     fn refresh_proc_hash(&mut self, idx: usize) {
-        let c = Self::proc_component(&self.procs[idx], idx);
+        let c = Self::proc_component(&self.procs[idx], idx, 0);
         self.hash_acc ^= self.proc_hash[idx] ^ c;
         self.proc_hash[idx] = c;
+        if self.hash_cfg.wide {
+            let c2 = Self::proc_component(&self.procs[idx], idx, WIDE_SEED);
+            self.hash_acc2 ^= self.proc_hash2[idx] ^ c2;
+            self.proc_hash2[idx] = c2;
+        }
     }
 
     fn refresh_win_hash(&mut self, cpu_index: usize) {
-        let c = Self::win_component(&self.windows[cpu_index], cpu_index);
+        let c = Self::win_component(&self.windows[cpu_index], cpu_index, 0);
         self.hash_acc ^= self.win_hash[cpu_index] ^ c;
         self.win_hash[cpu_index] = c;
+        if self.hash_cfg.wide {
+            let c2 = Self::win_component(&self.windows[cpu_index], cpu_index, WIDE_SEED);
+            self.hash_acc2 ^= self.win_hash2[cpu_index] ^ c2;
+            self.win_hash2[cpu_index] = c2;
+        }
     }
 
     /// The XOR fold recomputed from scratch; the incremental `hash_acc`
     /// must always equal this (checked by a debug assertion in
     /// [`Kernel::state_hash`]).
-    fn compute_hash_acc(&self) -> u64 {
+    fn compute_hash_acc(&self, seed: u64) -> u64 {
         let mut acc = 0;
         for (i, p) in self.procs.iter().enumerate() {
-            acc ^= Self::proc_component(p, i);
+            acc ^= Self::proc_component(p, i, seed);
         }
         for (i, ws) in self.windows.iter().enumerate() {
-            acc ^= Self::win_component(ws, i);
+            acc ^= Self::win_component(ws, i, seed);
         }
         acc
+    }
+
+    /// The symmetry-canonical scheduler fold under `seed`: per processor,
+    /// its processes as sorted `(priority, descriptor)` pairs and its open
+    /// windows as sorted `(priority, count, credit, holder-descriptor)`
+    /// tuples; the per-processor hashes are themselves sorted before the
+    /// final fold, so both processes within a processor (at equal priority
+    /// — unequal priorities yield different pairs) and whole processors
+    /// are interchangeable.
+    fn sym_fold(&self, seed: u64) -> u64 {
+        let desc: Vec<u64> = self.procs.iter().map(|p| Self::proc_desc(p, seed)).collect();
+        let mut cpu_hashes: Vec<u64> = Vec::with_capacity(self.n_cpus);
+        let mut entries: Vec<(Priority, u64)> = Vec::new();
+        let mut wins: Vec<(Priority, u32, u32, u64)> = Vec::new();
+        for c in 0..self.n_cpus {
+            entries.clear();
+            entries.extend(
+                self.procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.cpu.index() == c)
+                    .map(|(i, p)| (p.prio, desc[i])),
+            );
+            entries.sort_unstable();
+            wins.clear();
+            wins.extend(
+                self.windows[c]
+                    .iter()
+                    .filter(|w| w.open)
+                    .map(|w| (w.prio, w.count, w.credit, desc[w.holder.index()])),
+            );
+            wins.sort_unstable();
+            let mut h = DefaultHasher::new();
+            0x3Cu8.hash(&mut h);
+            seed.hash(&mut h);
+            entries.hash(&mut h);
+            wins.hash(&mut h);
+            cpu_hashes.push(h.finish());
+        }
+        cpu_hashes.sort_unstable();
+        let mut h = DefaultHasher::new();
+        cpu_hashes.hash(&mut h);
+        h.finish()
+    }
+
+    /// One 64-bit state hash under `seed` (0 = primary), honoring the
+    /// symmetric mode of the active [`HashCfg`].
+    fn state_hash_seeded(&self, seed: u64) -> u64
+    where
+        M: Hash,
+    {
+        let acc = if self.hash_cfg.symmetric {
+            self.sym_fold(seed)
+        } else if self.track_hash {
+            let inc = if seed == 0 { self.hash_acc } else { self.hash_acc2 };
+            debug_assert_eq!(
+                inc,
+                self.compute_hash_acc(seed),
+                "incremental state-hash accumulator diverged from a full recomputation"
+            );
+            inc
+        } else {
+            self.compute_hash_acc(seed)
+        };
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        self.mem.hash(&mut h);
+        acc.hash(&mut h);
+        h.finish()
     }
 
     /// Hashes the complete scheduling-relevant state (memory, machines,
     /// statuses, windows) for visited-state deduplication. Requires
     /// `M: Hash`.
     ///
-    /// The process and window contributions are maintained incrementally —
-    /// each step refreshes only the stepping process's and cpu's components
-    /// — so this costs O(|mem|) per call rather than a full rescan.
+    /// In the default (exact) mode the process and window contributions
+    /// are maintained incrementally — each step refreshes only the
+    /// stepping process's and cpu's components — so this costs O(|mem|)
+    /// per call rather than a full rescan. In the symmetric mode of
+    /// [`Kernel::track_state_hash_cfg`] the canonical fold is recomputed
+    /// per call.
     pub fn state_hash(&self) -> u64
     where
         M: Hash,
     {
-        let acc = if self.track_hash {
-            debug_assert_eq!(
-                self.hash_acc,
-                self.compute_hash_acc(),
-                "incremental state-hash accumulator diverged from a full recomputation"
-            );
-            self.hash_acc
+        self.state_hash_seeded(0)
+    }
+
+    /// The 128-bit state-hash key: low 64 bits are [`Kernel::state_hash`];
+    /// with [`HashCfg::wide`] the high 64 bits are an independently seeded
+    /// second hash of the same state, otherwise zero. Used by the explorer
+    /// to shrink the false-prune (dedup-collision) probability.
+    pub fn state_hash_wide(&self) -> u128
+    where
+        M: Hash,
+    {
+        let lo = u128::from(self.state_hash_seeded(0));
+        if self.hash_cfg.wide {
+            (u128::from(self.state_hash_seeded(WIDE_SEED)) << 64) | lo
         } else {
-            self.compute_hash_acc()
+            lo
+        }
+    }
+
+    /// Partial-order-reduction metadata for the *pending* cpu decision
+    /// (the state where [`Kernel::step_scripted`] with an empty script
+    /// reports `NeedChoice { kind: "cpu", .. }`).
+    ///
+    /// Returns `Some(i)` — an index into the runnable-cpu options, in the
+    /// same ascending order the decision exposes — when restricting the
+    /// search to choice `i` is sound: every statement that could execute
+    /// next on that cpu has a declared [`Footprint`] independent of the
+    /// may-footprint of every ready process on every other cpu. Scheduler
+    /// state (windows, candidate sets, credits) is per-processor by
+    /// construction and a step mutates only its own cpu's share, so shared
+    /// memory is the only channel coupling processors: with disjoint
+    /// footprints each deferred cross-cpu step commutes with the chosen
+    /// one, the chosen cpu's options form a singleton persistent set (per
+    /// processor — its holder/first-credit sub-choices are still explored
+    /// in full), and every quiescent state of the full schedule tree
+    /// remains reachable in the reduced tree.
+    ///
+    /// Returns `None` when fewer than two cpus are runnable or no cpu
+    /// qualifies. Held processes are ignored: nothing releases them during
+    /// an exploration.
+    pub fn ample_cpu_choice(&self) -> Option<usize> {
+        let cpus = self.runnable_cpus();
+        if cpus.len() < 2 {
+            return None;
+        }
+        for (i, &cpu) in cpus.iter().enumerate() {
+            let fp = self.pending_step_footprint(cpu);
+            if fp == Footprint::Unknown {
+                continue;
+            }
+            let mut others = Footprint::LOCAL;
+            for p in &self.procs {
+                if p.cpu != cpu && p.status == Status::Ready {
+                    others = others.union(p.machine.may_footprint());
+                }
+            }
+            if fp.independent(others) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Union footprint of the statement(s) that could execute next on
+    /// `cpu`: the continuing window holder's next statement if the open
+    /// window forces continuation, otherwise the next statements of every
+    /// candidate holder at the top ready priority.
+    fn pending_step_footprint(&self, cpu: ProcessorId) -> Footprint {
+        let Some(prio) = self.top_priority(cpu) else {
+            return Footprint::Unknown;
         };
-        let mut h = DefaultHasher::new();
-        self.mem.hash(&mut h);
-        acc.hash(&mut h);
-        h.finish()
+        let win = self.windows[cpu.index()].iter().find(|w| w.prio == prio && w.open);
+        if let Some(w) = win {
+            let h = &self.procs[w.holder.index()];
+            if h.status == Status::Ready && w.count < w.credit {
+                return h.machine.next_footprint();
+            }
+        }
+        self.procs
+            .iter()
+            .filter(|p| p.status == Status::Ready && p.cpu == cpu && p.prio == prio)
+            .fold(Footprint::LOCAL, |acc, p| acc.union(p.machine.next_footprint()))
     }
 }
 

@@ -6,6 +6,72 @@ use core::hash::Hasher;
 use crate::ids::ProcessId;
 use crate::sym::{Interner, Sym};
 
+/// The shared-memory footprint of a statement, over up to 64 abstract
+/// *cells* chosen by the algorithm (bit `i` of a mask = cell `i`).
+///
+/// Footprints feed the explorer's partial-order reduction: two statements
+/// on different processors commute when neither writes a cell the other
+/// touches, so only one interleaving of them needs exploring. The default
+/// is [`Footprint::Unknown`] — "may touch anything" — which conflicts with
+/// everything and therefore never enables a prune; declaring footprints is
+/// purely an opt-in refinement, and an over-approximation (extra bits) is
+/// always safe while an under-approximation is a soundness bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Footprint {
+    /// May read or write any shared cell; conflicts with every non-local
+    /// statement (the conservative default).
+    Unknown,
+    /// Touches exactly the cells in the masks. `reads`/`writes` of 0/0 is
+    /// a purely local statement, independent of everything.
+    Access {
+        /// Cells the statement may read.
+        reads: u64,
+        /// Cells the statement may write.
+        writes: u64,
+    },
+}
+
+impl Footprint {
+    /// A purely local statement: touches no shared cell.
+    pub const LOCAL: Footprint = Footprint::Access { reads: 0, writes: 0 };
+
+    /// Reads (only) the cells in `mask`.
+    pub fn reads(mask: u64) -> Footprint {
+        Footprint::Access { reads: mask, writes: 0 }
+    }
+
+    /// May read and write the cells in `mask`.
+    pub fn rw(mask: u64) -> Footprint {
+        Footprint::Access { reads: mask, writes: mask }
+    }
+
+    /// The union of two footprints ([`Footprint::Unknown`] absorbs).
+    #[must_use]
+    pub fn union(self, other: Footprint) -> Footprint {
+        match (self, other) {
+            (
+                Footprint::Access { reads: r1, writes: w1 },
+                Footprint::Access { reads: r2, writes: w2 },
+            ) => Footprint::Access { reads: r1 | r2, writes: w1 | w2 },
+            _ => Footprint::Unknown,
+        }
+    }
+
+    /// Whether the two footprints commute: neither writes a cell the other
+    /// reads or writes. `Unknown` is independent of nothing (not even a
+    /// local statement — the conservative choice keeps the check symmetric
+    /// and cheap; local statements prune via their *own* side).
+    pub fn independent(self, other: Footprint) -> bool {
+        match (self, other) {
+            (
+                Footprint::Access { reads: r1, writes: w1 },
+                Footprint::Access { reads: r2, writes: w2 },
+            ) => w1 & (r2 | w2) == 0 && w2 & (r1 | w1) == 0,
+            _ => false,
+        }
+    }
+}
+
 /// The result of executing one atomic statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -131,6 +197,26 @@ pub trait StepMachine<M>: Send {
     /// that hash differently may be treated as distinct states, so hashing
     /// *less* state is safe but slower, hashing *more* is a bug.
     fn state_key(&self, h: &mut dyn Hasher);
+
+    /// The footprint of the *next* statement this machine would execute.
+    ///
+    /// Drives the explorer's partial-order reduction. The default,
+    /// [`Footprint::Unknown`], is always sound (it disables pruning around
+    /// this machine). Overriding implementations must over-approximate:
+    /// every cell the next [`step`](StepMachine::step) call could touch
+    /// must be covered.
+    fn next_footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
+
+    /// The footprint of *every* statement this machine may still execute
+    /// (a static over-approximation of its remaining behavior).
+    ///
+    /// Like [`next_footprint`](StepMachine::next_footprint), defaults to
+    /// the conservative [`Footprint::Unknown`].
+    fn may_footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
 }
 
 impl<M> Clone for Box<dyn StepMachine<M>> {
@@ -148,6 +234,7 @@ pub struct FnMachine<M> {
     f: std::sync::Arc<dyn Fn(&mut M, u32) -> (StepOutcome, Option<u64>) + Send + Sync>,
     calls: u32,
     out: Option<u64>,
+    fp: Footprint,
 }
 
 impl<M> FnMachine<M> {
@@ -157,13 +244,22 @@ impl<M> FnMachine<M> {
     pub fn new(
         f: impl Fn(&mut M, u32) -> (StepOutcome, Option<u64>) + Send + Sync + 'static,
     ) -> Self {
-        FnMachine { f: std::sync::Arc::new(f), calls: 0, out: None }
+        FnMachine { f: std::sync::Arc::new(f), calls: 0, out: None, fp: Footprint::Unknown }
+    }
+
+    /// Declares the footprint of *every* statement of this machine (both
+    /// [`StepMachine::next_footprint`] and [`StepMachine::may_footprint`]
+    /// report it). Must over-approximate each step's shared accesses.
+    #[must_use]
+    pub fn with_footprint(mut self, fp: Footprint) -> Self {
+        self.fp = fp;
+        self
     }
 }
 
 impl<M> Clone for FnMachine<M> {
     fn clone(&self) -> Self {
-        FnMachine { f: self.f.clone(), calls: self.calls, out: self.out }
+        FnMachine { f: self.f.clone(), calls: self.calls, out: self.out, fp: self.fp }
     }
 }
 
@@ -188,6 +284,14 @@ impl<M: 'static> StepMachine<M> for FnMachine<M> {
     fn state_key(&self, h: &mut dyn Hasher) {
         h.write_u32(self.calls);
         h.write_u64(self.out.map_or(u64::MAX, |v| v));
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        self.fp
+    }
+
+    fn may_footprint(&self) -> Footprint {
+        self.fp
     }
 }
 

@@ -40,7 +40,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use crate::machine::{StepCtx, StepMachine, StepOutcome};
+use crate::machine::{Footprint, StepCtx, StepMachine, StepOutcome};
 
 /// Refers to a procedure of a [`Program`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,10 +77,12 @@ pub enum Flow {
 type StmtFn<L, M> = Arc<dyn Fn(&mut L, &mut M) -> Flow + Send + Sync>;
 
 /// One statement: a display label, whether it is a *counted* atomic
-/// statement (it consumes quantum) and its effect.
+/// statement (it consumes quantum), its shared-memory footprint, and its
+/// effect.
 pub struct Stmt<L, M> {
     name: String,
     counted: bool,
+    fp: Footprint,
     run: StmtFn<L, M>,
 }
 
@@ -96,6 +98,9 @@ pub struct Program<L, M> {
     procs: Vec<ProcDef<L, M>>,
     /// label -> (proc index, stmt index)
     labels: Vec<(usize, usize)>,
+    /// Union of every statement's footprint, cached at build time — the
+    /// machine's static may-footprint for partial-order reduction.
+    may_fp: Footprint,
 }
 
 impl<L, M> Program<L, M> {
@@ -107,6 +112,13 @@ impl<L, M> Program<L, M> {
     /// Number of statements in procedure `p`.
     pub fn proc_len(&self, p: ProcRef) -> usize {
         self.procs[p.0].stmts.len()
+    }
+
+    /// The union of every statement's declared footprint (the whole-program
+    /// may-footprint). [`Footprint::Unknown`] if any statement left its
+    /// footprint undeclared.
+    pub fn may_footprint(&self) -> Footprint {
+        self.may_fp
     }
 }
 
@@ -176,9 +188,28 @@ impl<L, M> ProgramBuilder<L, M> {
         name: &str,
         f: impl Fn(&mut L, &mut M) -> Flow + Send + Sync + 'static,
     ) {
+        self.stmt_fp(proc, name, Footprint::Unknown, f);
+    }
+
+    /// Appends a *counted* atomic statement with a declared shared-memory
+    /// [`Footprint`].
+    ///
+    /// The footprint must over-approximate every cell the statement can
+    /// touch on any execution (a missing cell is a partial-order-reduction
+    /// soundness bug; an extra cell merely prunes less). Statements added
+    /// with [`stmt`](Self::stmt) default to [`Footprint::Unknown`], which
+    /// never prunes.
+    pub fn stmt_fp(
+        &mut self,
+        proc: ProcRef,
+        name: &str,
+        fp: Footprint,
+        f: impl Fn(&mut L, &mut M) -> Flow + Send + Sync + 'static,
+    ) {
         self.procs[proc.0].stmts.push(Stmt {
             name: name.to_string(),
             counted: true,
+            fp,
             run: Arc::new(f),
         });
     }
@@ -196,6 +227,8 @@ impl<L, M> ProgramBuilder<L, M> {
         self.procs[proc.0].stmts.push(Stmt {
             name: name.to_string(),
             counted: false,
+            // Uncounted statements are pure local control flow by contract.
+            fp: Footprint::LOCAL,
             run: Arc::new(f),
         });
     }
@@ -223,7 +256,12 @@ impl<L, M> ProgramBuilder<L, M> {
         for p in &self.procs {
             assert!(!p.stmts.is_empty(), "procedure `{}` has no statements", p.name);
         }
-        Arc::new(Program { procs: self.procs, labels })
+        let may_fp = self
+            .procs
+            .iter()
+            .flat_map(|p| &p.stmts)
+            .fold(Footprint::LOCAL, |acc, s| acc.union(s.fp));
+        Arc::new(Program { procs: self.procs, labels, may_fp })
     }
 }
 
@@ -255,6 +293,10 @@ pub struct ProgMachine<L, M> {
     /// Bound on consecutive uncounted statements, to catch control-flow
     /// loops that would otherwise spin forever inside one step.
     free_fuel: u32,
+    /// Declared bound on everything this machine can ever touch,
+    /// overriding the whole-program fallback (see
+    /// [`ProgMachine::with_may_footprint`]).
+    may_fp_override: Option<Footprint>,
 }
 
 impl<L: Clone, M> Clone for ProgMachine<L, M> {
@@ -269,6 +311,7 @@ impl<L: Clone, M> Clone for ProgMachine<L, M> {
             out_fn: self.out_fn.clone(),
             out: self.out,
             free_fuel: self.free_fuel,
+            may_fp_override: self.may_fp_override,
         }
     }
 }
@@ -295,6 +338,7 @@ impl<L, M> ProgMachine<L, M> {
             out_fn: Arc::new(|_| None),
             out: None,
             free_fuel: 4096,
+            may_fp_override: None,
         };
         m.start_invocation();
         m
@@ -304,6 +348,24 @@ impl<L, M> ProgMachine<L, M> {
     /// locals when the invocation completes.
     pub fn with_output(mut self, f: impl Fn(&L) -> Option<u64> + Send + Sync + 'static) -> Self {
         self.out_fn = Arc::new(f);
+        self
+    }
+
+    /// Declares a bound on everything this machine can ever access,
+    /// replacing the whole-program may-footprint fallback. A program often
+    /// bundles several procedures (e.g. one `decide` per consensus
+    /// object); a machine whose invocation plan only ever enters one of
+    /// them is entitled to that procedure's tighter footprint, which is
+    /// what lets the explorer's partial-order reduction commute it against
+    /// machines confined to *other* objects.
+    ///
+    /// **Caller obligation**: `fp` must over-approximate the footprint of
+    /// every statement any invocation of this machine can reach (including
+    /// through `Flow::Call`). An under-approximation makes the reduction
+    /// unsound.
+    #[must_use]
+    pub fn with_may_footprint(mut self, fp: Footprint) -> Self {
+        self.may_fp_override = Some(fp);
         self
     }
 
@@ -451,6 +513,33 @@ where
         self.finished.hash(&mut inner);
         self.out.hash(&mut inner);
         h.write_u64(inner.finish());
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        // One `step` call runs any uncounted statements up to and including
+        // the next counted one. If the pc rests on a counted statement its
+        // declared footprint is exact; if it rests on an uncounted one
+        // (pure local control flow), *which* counted statement follows is
+        // dynamic, so fall back to the whole-program may-footprint.
+        match self.frames.last() {
+            None => Footprint::LOCAL, // finished: never steps again
+            Some(&(p, pc)) => {
+                let stmt = &self.prog.procs[p].stmts[pc];
+                if stmt.counted {
+                    stmt.fp
+                } else {
+                    self.may_fp_override.unwrap_or(self.prog.may_fp)
+                }
+            }
+        }
+    }
+
+    fn may_footprint(&self) -> Footprint {
+        if self.finished {
+            Footprint::LOCAL
+        } else {
+            self.may_fp_override.unwrap_or(self.prog.may_fp)
+        }
     }
 }
 

@@ -506,12 +506,32 @@ pub const SERVICE_SCHEMA: &[(&str, Kind)] = &[
     ("p99", Kind::Num),
 ];
 
+/// The envelope of an exhaustive-exploration report line
+/// (`BENCH_explore.json`): the standard [`CELL_SCHEMA`] plus the
+/// [`crate::explore::ExploreStats`] payload (`terminals`, `deduped`,
+/// `por_pruned`, `visited`, `truncation`) and the verification verdict
+/// (`verified`: every terminal satisfied the checked property and no bound
+/// truncated the search).
+pub const EXPLORE_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
+    ("steps", Kind::Num),
+    ("terminals", Kind::Num),
+    ("deduped", Kind::Num),
+    ("por_pruned", Kind::Num),
+    ("visited", Kind::Num),
+    ("truncation", Kind::Str),
+    ("verified", Kind::Bool),
+    ("steps_per_sec", Kind::Num),
+];
+
 /// Picks the validation schema for an artifact by its **final path
 /// component** (never the whole path, so a directory named `profile.json/`
 /// or a non-UTF8 parent segment cannot misroute the choice):
 /// `*.timing.json` → [`TIMING_SCHEMA`], `*profile.json` →
 /// [`PROFILE_SCHEMA`], `*native.json` → [`NATIVE_SCHEMA`],
-/// `*service.json` → [`SERVICE_SCHEMA`], anything else → [`CELL_SCHEMA`].
+/// `*service.json` → [`SERVICE_SCHEMA`], `*explore.json` →
+/// [`EXPLORE_SCHEMA`], anything else → [`CELL_SCHEMA`].
 pub fn schema_for_path(path: &std::path::Path) -> &'static [(&'static str, Kind)] {
     // `to_string_lossy` on the file name alone: a non-UTF8 byte in the
     // name maps to U+FFFD, which simply fails all suffix matches and
@@ -525,6 +545,8 @@ pub fn schema_for_path(path: &std::path::Path) -> &'static [(&'static str, Kind)
         NATIVE_SCHEMA
     } else if name.ends_with("service.json") {
         SERVICE_SCHEMA
+    } else if name.ends_with("explore.json") {
+        EXPLORE_SCHEMA
     } else {
         CELL_SCHEMA
     }
@@ -668,6 +690,7 @@ mod tests {
         assert_eq!(schema_for_path(Path::new("BENCH_profile.json")), PROFILE_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_native.json")), NATIVE_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_service.json")), SERVICE_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_explore.json")), EXPLORE_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_service.timing.json")), TIMING_SCHEMA);
         assert_eq!(
             schema_for_path(Path::new("/tmp/deep/dir/BENCH_native.json")),

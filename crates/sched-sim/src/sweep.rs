@@ -65,6 +65,30 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The bare worker pool underneath [`run_cells`]: spawns `jobs` scoped
+/// threads, runs `f(worker_index)` on each, and joins them all before
+/// returning. `jobs <= 1` runs `f(0)` inline on the calling thread (no
+/// pool, no synchronization — the serial reference path).
+///
+/// [`run_cells`] drives it with an atomic cell cursor; the exhaustive
+/// explorer ([`crate::explore::explore_parallel`]) drives it with a shared
+/// work frontier. A panic in any worker propagates after the pool drains.
+pub fn pool<F>(jobs: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if jobs <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let f = &f;
+            scope.spawn(move || f(w));
+        }
+    });
+}
+
 /// The cartesian product of two parameter axes, in row-major order
 /// (`xs[0]` paired with every `ys`, then `xs[1]`, …) — the usual shape of
 /// a `(scenario, seed)` grid.
@@ -105,17 +129,13 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..cells.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let r = f(i, &cells[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
+    pool(jobs, |_w| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= cells.len() {
+            break;
         }
+        let r = f(i, &cells[i]);
+        *slots[i].lock().expect("result slot poisoned") = Some(r);
     });
     slots
         .into_iter()

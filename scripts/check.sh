@@ -38,6 +38,24 @@ else
 fi
 target/release/experiments --validate "$smoke_dir/BENCH_perf.json"
 
+echo "== explore smoke (experiments --explore --smoke --jobs 4) + steps/sec gate =="
+# The exhaustive-exploration grid at CI scale: every smoke workload is
+# fully verified in all four explorer modes (serial, parallel, reduced,
+# reduced-parallel), the rows are schema-checked, and each mode's steps/sec
+# is compared against the committed BENCH_explore.json: the gate fails if
+# any explorer kind fell below 70% of the committed baseline, or if any
+# reduced row failed verification. Set SKIP_EXPLORE_GATE=1 to skip the
+# regression comparison (e.g. on heavily-loaded or throttled machines);
+# the smoke run, verification, and schema validation still execute.
+if [[ -n "${SKIP_EXPLORE_GATE:-}" ]]; then
+  (cd "$smoke_dir" && ../../target/release/experiments --explore --smoke --jobs 4 > /dev/null)
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --explore --smoke --jobs 4 \
+      --explore-baseline ../../BENCH_explore.json > /dev/null)
+fi
+target/release/experiments --validate "$smoke_dir/BENCH_explore.json"
+target/release/experiments --validate "$smoke_dir/BENCH_explore.timing.json"
+
 echo "== fuzz smoke (experiments --fuzz --smoke --jobs 2) + artifact validation =="
 # The adversarial schedule fuzzer over every algorithm family: exits
 # nonzero on an oracle violation at legal Q (a real bug) or on a missing

@@ -10,7 +10,7 @@
 
 use hybrid_wf::uni::consensus::{decide_machine, UniConsensusMem, MIN_QUANTUM};
 use lowerbound::valency::bivalent_chain_depth;
-use sched_sim::explore::{explore, ExploreBounds, ExploreStats, Verdict};
+use sched_sim::explore::{explore, ExploreBounds, ExploreStats, Truncation, Verdict};
 use sched_sim::{Kernel, ProcessorId, Priority, Scenario, SystemSpec};
 
 /// The Fig. 3 configuration used throughout the experiments: all processes
@@ -36,7 +36,14 @@ fn stats_of(q: u32, inputs: &[(u64, u32)]) -> ExploreStats {
 fn fig3_q8_two_procs_stats_pinned() {
     assert_eq!(
         stats_of(MIN_QUANTUM, &[(1, 1), (2, 1)]),
-        ExploreStats { terminals: 14, steps: 1514, deduped: 226, truncated: false }
+        ExploreStats {
+            terminals: 14,
+            steps: 1514,
+            deduped: 226,
+            por_pruned: 0,
+            peak_visited: 1289, // 1 + steps - deduped
+            truncation: Truncation::None,
+        }
     );
 }
 
@@ -46,7 +53,14 @@ fn fig3_q8_two_procs_stats_pinned() {
 fn fig3_q8_three_procs_stats_pinned() {
     assert_eq!(
         stats_of(MIN_QUANTUM, &[(1, 1), (2, 1), (3, 2)]),
-        ExploreStats { terminals: 1, steps: 1328, deduped: 246, truncated: false }
+        ExploreStats {
+            terminals: 1,
+            steps: 1328,
+            deduped: 246,
+            por_pruned: 0,
+            peak_visited: 1083,
+            truncation: Truncation::None,
+        }
     );
 }
 
@@ -56,7 +70,14 @@ fn fig3_q8_three_procs_stats_pinned() {
 fn fig3_q1_two_procs_stats_pinned() {
     assert_eq!(
         stats_of(1, &[(1, 1), (2, 1)]),
-        ExploreStats { terminals: 32, steps: 912, deduped: 322, truncated: false }
+        ExploreStats {
+            terminals: 32,
+            steps: 912,
+            deduped: 322,
+            por_pruned: 0,
+            peak_visited: 591,
+            truncation: Truncation::None,
+        }
     );
 }
 
