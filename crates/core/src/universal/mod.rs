@@ -143,8 +143,16 @@ where
 
     b.stmt(apply, "a1: announce[p] := (token, op)", |l, m| {
         let op = l.my_op.clone().expect("operation staged");
-        debug_assert_eq!(m.ops[l.me as usize].len() as u32, token_seq(l.my_token));
-        m.ops[l.me as usize].push(op.clone());
+        // Push-once: a crash-and-restart re-runs this statement with the
+        // same token, and the op log is indexed by sequence number — a
+        // second push would shift every later op of this process. The
+        // re-announce is idempotent (same token, same op).
+        let row = &mut m.ops[l.me as usize];
+        if row.len() as u32 == token_seq(l.my_token) {
+            row.push(op.clone());
+        } else {
+            debug_assert!(row.len() as u32 > token_seq(l.my_token));
+        }
         m.announce[l.me as usize] = Some((l.my_token, op));
         Flow::Next
     });

@@ -26,6 +26,12 @@
 //!                   algorithms on real OS threads, cross-validated by the
 //!                   simulator oracles → `BENCH_native.json` (explicit-only;
 //!                   `--smoke` shrinks it for the `check.sh` gate)
+//! * `--crash`     — the crash-and-restart grid: crash/recover lifecycle
+//!                   plans over Fig. 3 / universal / Fig. 7 under noisy
+//!                   schedules, scored by recovery-safe oracles, plus a
+//!                   churn-surviving service cell → `BENCH_crash.json`
+//!                   (explicit-only; `--smoke` shrinks it for the
+//!                   `check.sh` gate)
 //! * `--service`   — the request-serving workload engine: long-lived
 //!                   sharded universal-object services under thousands of
 //!                   multiplexed clients → `BENCH_service.json` with
@@ -285,6 +291,14 @@ fn main() {
         write_artifact("BENCH_service.json", &lines);
         service_ok = ok;
     }
+    // The crash-and-restart grid: explicit-only like --fuzz (it exists for
+    // its artifact and its gate, not for the default report).
+    let mut crash_ok = true;
+    if flags.iter().any(|a| *a == "--crash") {
+        let (lines, ok) = crash_grid(run.jobs, run.smoke);
+        write_artifact("BENCH_crash.json", &lines);
+        crash_ok = ok;
+    }
     // Exhaustive exploration at scale: the parallel/reduced explorer grid.
     // Explicit-only (the full grid model-checks multi-million-state trees);
     // gated against the committed baseline like --perf.
@@ -312,7 +326,7 @@ fn main() {
     if !sweeps.is_empty() {
         write_artifact("BENCH_sweeps.json", &sweeps);
     }
-    if !fuzz_ok || !native_ok || !service_ok {
+    if !fuzz_ok || !native_ok || !service_ok || !crash_ok {
         std::process::exit(1);
     }
 }
@@ -557,6 +571,71 @@ fn native_grid(smoke: bool) -> (Vec<Json>, bool) {
     }
     println!();
     (ng::report_lines(&cells), ok)
+}
+
+/// `--crash`: the crash-and-restart grid (see `lowerbound::crash`).
+///
+/// Runs every (family, noise, seed) crash cell — a deterministic
+/// crash/recover lifecycle plan under a noisy schedule, scored by the
+/// recovery-safe oracles — plus the churn service cell, prints the grid,
+/// and returns the JSONL lines for `BENCH_crash.json` with the gate flag:
+/// `false` (→ nonzero exit) if any cell's oracle reported a violation or a
+/// planned crash failed to fire.
+fn crash_grid(jobs: usize, smoke: bool) -> (Vec<Json>, bool) {
+    let n_cells = lowerbound::crash::grid(smoke).len();
+    println!(
+        "── Crash-and-restart grid: {n_cells} crash cells + 1 churn cell ({}, {jobs} jobs) ──",
+        if smoke { "smoke" } else { "full" }
+    );
+    let lines = lowerbound::crash::run_grid(jobs, smoke);
+    let cell_val = |l: &Json, key: &str| {
+        l.get("cell")
+            .and_then(|c| c.get(key))
+            .map_or("?".to_string(), |v| match v {
+                Json::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+    };
+    println!("    family      q  noise  seed  victim  crash@  recover@     steps  crashes  recoveries  verdict");
+    for l in &lines {
+        let num = |key: &str| l.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let ok = l.get("ok") == Some(&Json::Bool(true));
+        match l.get("kind").and_then(Json::as_str) {
+            Some("crash") => println!(
+                "    {:<9} {:>4}  {:>5} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>11}  {}",
+                cell_val(l, "family"),
+                cell_val(l, "q"),
+                cell_val(l, "noise"),
+                cell_val(l, "seed"),
+                cell_val(l, "victim"),
+                cell_val(l, "crash_t"),
+                cell_val(l, "recover_t"),
+                num("steps"),
+                num("crashes"),
+                num("recoveries"),
+                if ok { "ok" } else { "VIOLATION" },
+            ),
+            Some("crash_churn") => println!(
+                "    churn: counter service, {} shards × {} workers, {} requests, {} crashes / {} recoveries — {}",
+                cell_val(l, "shards"),
+                cell_val(l, "workers"),
+                num("requests_served"),
+                num("crashes"),
+                num("recoveries"),
+                if ok { "ok" } else { "VIOLATION" },
+            ),
+            _ => {}
+        }
+        if !ok {
+            eprintln!("    ^^ FAILED: {l}");
+        }
+    }
+    let ok = lowerbound::crash::grid_ok(&lines);
+    if !ok {
+        println!("  CRASH GATE FAILED: a recovery-safe oracle reported a violation");
+    }
+    println!();
+    (lines, ok)
 }
 
 /// `--service`: the request-serving workload engine (see

@@ -23,6 +23,10 @@
 //!   violation search against the Fig. 7 algorithm, used by the `table1`
 //!   experiment to locate the quantum threshold between the paper's upper
 //!   and lower bounds.
+//! * [`crash`] — the crash-and-restart grid behind `experiments --crash`:
+//!   crash/recover lifecycle plans as a first-class scenario axis, with
+//!   recovery-safe agreement/exactly-once/linearizability oracles, noisy
+//!   (Aspnes-style) schedules, and a churn-surviving service cell.
 //! * [`service`] — the long-lived request-serving grid behind
 //!   `experiments --service`: sharded universal objects under thousands
 //!   of multiplexed clients, with latency-percentile reporting.
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod crash;
 pub mod explore_grid;
 pub mod fig6;
 pub mod fuzz;

@@ -108,7 +108,7 @@ pub fn grid(smoke: bool) -> Vec<ServiceConfig> {
 
 /// The op mix of the counter object: a small per-client addend, so the
 /// final state oracle is an easy closed-form sum.
-fn counter_gen() -> OpGen<CounterSpec> {
+pub(crate) fn counter_gen() -> OpGen<CounterSpec> {
     Arc::new(|client, _seq| (client % 1000) + 1)
 }
 
@@ -141,7 +141,7 @@ fn cas_gen() -> OpGen<CasRegisterSpec> {
 /// Builds one shard's scenario: pre-sized shared memory (see
 /// [`session_mem`]) and one [`SessionMachine`] per worker, placed by the
 /// plan (single processor, cycled priorities, held open-loop cohorts).
-fn shard_scenario<S>(spec: S, gen: &OpGen<S>, plan: &ShardPlan) -> Scenario<UniversalMem<S>>
+pub(crate) fn shard_scenario<S>(spec: S, gen: &OpGen<S>, plan: &ShardPlan) -> Scenario<UniversalMem<S>>
 where
     S: WordOp + Clone + Send + Sync + 'static,
     S::State: std::hash::Hash + Send + Sync + 'static,

@@ -153,6 +153,50 @@ impl Decider for SeededRandom {
     }
 }
 
+/// Noisy decider: a base decider whose choices are overridden by uniform
+/// random noise with probability `num/den` per decision.
+///
+/// This is Aspnes' noisy-scheduling model ("Fast Deterministic Consensus in
+/// a Noisy Environment"): the adversary (or a fair policy) controls the
+/// schedule, but each decision is independently perturbed by random noise
+/// it cannot predict. At `num = 0` it degenerates to the base decider; at
+/// `num = den` it is a seeded uniform-random schedule. Sweeping `num/den`
+/// measures how much scheduler noise an algorithm needs before adversarial
+/// starvation patterns wash out — the "practically wait-free" regime.
+#[derive(Debug)]
+pub struct Noisy<D> {
+    base: D,
+    rng: SplitMix64,
+    num: u32,
+    den: u32,
+}
+
+impl<D: Decider> Noisy<D> {
+    /// Wraps `base`, flipping each decision to a uniform random pick with
+    /// probability `num/den`. Panics if `den == 0` or `num > den`.
+    pub fn new(base: D, noise_num: u32, noise_den: u32, seed: u64) -> Self {
+        assert!(noise_den > 0, "noise denominator must be positive");
+        assert!(noise_num <= noise_den, "noise probability must be <= 1");
+        Noisy { base, rng: SplitMix64::new(seed), num: noise_num, den: noise_den }
+    }
+}
+
+impl<D: Decider> Decider for Noisy<D> {
+    fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
+        // Always advance both the base decider and the noise stream so the
+        // schedule is a deterministic function of (base, seed, num/den) and
+        // raising the noise rate perturbs rather than re-seeds the run.
+        let base_pick = self.base.choose(choice, n);
+        let noise_roll = self.rng.index(self.den as usize);
+        let noise_pick = self.rng.index(n);
+        if (noise_roll as u32) < self.num {
+            noise_pick
+        } else {
+            base_pick
+        }
+    }
+}
+
 /// Scripted decider: replays a fixed sequence of option indices.
 ///
 /// Used for regression tests, by the exhaustive explorer, and by the fuzz
@@ -315,6 +359,40 @@ mod tests {
             Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts },
             3,
         );
+    }
+
+    #[test]
+    fn noisy_at_zero_noise_is_the_base_decider() {
+        let opts = holder_opts();
+        let mk = || Choice::Holder { cpu: ProcessorId(0), prio: Priority(1), options: &opts };
+        let mut base = RoundRobin::new();
+        let mut noisy = Noisy::new(RoundRobin::new(), 0, 100, 7);
+        for _ in 0..12 {
+            assert_eq!(noisy.choose(mk(), 3), base.choose(mk(), 3));
+        }
+    }
+
+    #[test]
+    fn noisy_is_reproducible_and_noise_rate_matters() {
+        let opts = holder_opts();
+        let run = |num, seed| {
+            let mut d = Noisy::new(RoundRobin::new(), num, 100, seed);
+            (0..40)
+                .map(|_| {
+                    d.choose(
+                        Choice::Holder {
+                            cpu: ProcessorId(0),
+                            prio: Priority(1),
+                            options: &opts,
+                        },
+                        3,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(50, 42), run(50, 42));
+        assert_ne!(run(50, 42), run(0, 42));
+        assert_ne!(run(100, 42), run(100, 43));
     }
 
     #[test]

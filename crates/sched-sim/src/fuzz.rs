@@ -202,22 +202,49 @@ pub struct CrashAfterK {
     after: u64,
     seen: u64,
     victim: ProcessId,
+    fired: bool,
 }
 
 impl CrashAfterK {
     /// Wraps `inner`; after `k` consulted decisions, `victim` stops
     /// receiving quantum windows (while alternatives exist).
     pub fn new(inner: Box<dyn Decider>, k: u64, victim: ProcessId) -> Self {
-        CrashAfterK { inner, after: k, seen: 0, victim }
+        CrashAfterK { inner, after: k, seen: 0, victim, fired: false }
+    }
+
+    /// Whether the fail-stop transition has happened.
+    pub fn fired(&self) -> bool {
+        self.fired
     }
 }
 
 impl Decider for CrashAfterK {
     fn choose(&mut self, choice: Choice<'_>, n: usize) -> usize {
-        let crashed = self.seen >= self.after;
-        self.seen += 1;
+        if !self.fired {
+            if self.seen < self.after {
+                // Still alive: count this decision toward the crash point.
+                // The counter latches once the crash fires, so the
+                // fail-stop transition happens exactly once per run.
+                self.seen += 1;
+            } else if let Choice::Holder { options, .. } = &choice {
+                // Fire at the first window grant where the victim is
+                // actually ready (`Holder` options *are* the ready set):
+                // "crashing" a held or finished process would be
+                // unobservable and would pad shrunk counterexample
+                // scripts with dead decisions.
+                if options.contains(&self.victim) {
+                    debug_assert!(
+                        n >= 2,
+                        "crash adversary fired with victim {:?} as the only \
+                         ready process; starvation cannot model this crash",
+                        self.victim,
+                    );
+                    self.fired = true;
+                }
+            }
+        }
         let pick = self.inner.choose(choice.clone(), n);
-        if crashed {
+        if self.fired {
             if let Choice::Holder { options, .. } = choice {
                 if options[pick] == self.victim {
                     // Skip the crashed process: the next ready alternative
@@ -330,6 +357,38 @@ mod tests {
             }
         }
         assert!(!victim_granted_after_crash, "victim granted a window after the crash point");
+    }
+
+    /// Regression: the fail-stop transition latches exactly once, at the
+    /// first window grant where the victim is ready — non-`Holder`
+    /// decisions and grants not involving the victim cannot fire it, and
+    /// the pre-crash counter stops ticking after the fire.
+    #[test]
+    fn crash_fires_exactly_once_when_victim_is_ready() {
+        let inner = Box::new(QuantumStalker::new());
+        let mut d = CrashAfterK::new(inner, 2, ProcessId(1));
+        let with_victim = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        let without_victim = [ProcessId(0), ProcessId(2)];
+
+        // Two pre-crash decisions: still alive.
+        let _ = d.choose(holder(&with_victim), 3);
+        let _ = d.choose(holder(&with_victim), 3);
+        assert!(!d.fired(), "crash fired before the crash point");
+
+        // Armed, but the victim is not ready: must not fire.
+        let _ = d.choose(Choice::FirstCredit { pid: ProcessId(0), quantum: 4 }, 4);
+        let _ = d.choose(holder(&without_victim), 2);
+        assert!(!d.fired(), "crash fired while the victim was not ready");
+
+        // First grant with the victim ready: fires, and stays fired.
+        let i = d.choose(holder(&with_victim), 3);
+        assert!(d.fired(), "crash did not fire at a grant with the victim ready");
+        assert_ne!(with_victim[i], ProcessId(1), "victim granted at the crash instant");
+        for _ in 0..10 {
+            let i = d.choose(holder(&with_victim), 3);
+            assert_ne!(with_victim[i], ProcessId(1), "victim granted after the crash");
+            assert!(d.fired());
+        }
     }
 
     #[test]

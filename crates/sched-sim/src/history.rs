@@ -49,6 +49,12 @@ pub enum EventKind {
     },
     /// The process transitioned from held (ineligible) to ready.
     Release,
+    /// The process crashed: its partial invocation was discarded and it is
+    /// ineligible until it recovers.
+    Crash,
+    /// The process recovered from a crash (ineligible → ready); its next
+    /// statement restarts the interrupted invocation from the beginning.
+    Recover,
 }
 
 /// A timestamped event of a history.
@@ -115,7 +121,7 @@ impl History {
     pub fn label_of(&self, e: &Event) -> &str {
         match &e.kind {
             EventKind::Stmt { label, .. } => self.syms.resolve(*label),
-            EventKind::Release => "",
+            EventKind::Release | EventKind::Crash | EventKind::Recover => "",
         }
     }
 }
@@ -131,7 +137,9 @@ fn event_eq(a: &Event, b: &Event, a_syms: &Interner, b_syms: &Interner) -> bool 
             EventKind::Stmt { label: la, effect: ea, output: oa },
             EventKind::Stmt { label: lb, effect: eb, output: ob },
         ) => ea == eb && oa == ob && a_syms.resolve(*la) == b_syms.resolve(*lb),
-        (EventKind::Release, EventKind::Release) => true,
+        (EventKind::Release, EventKind::Release)
+        | (EventKind::Crash, EventKind::Crash)
+        | (EventKind::Recover, EventKind::Recover) => true,
         _ => false,
     }
 }
@@ -200,6 +208,7 @@ enum PStatus {
     Held,
     Ready,
     Finished,
+    Crashed,
 }
 
 /// Replays `h` and returns the first well-formedness violation, if any.
@@ -236,6 +245,21 @@ pub fn check_well_formed(h: &History) -> Result<(), Violation> {
     for ev in &h.events {
         match &ev.kind {
             EventKind::Release => {
+                status.insert(ev.pid, PStatus::Ready);
+            }
+            EventKind::Crash => {
+                // A crashed process is not ready (Axiom 1 no longer obliges
+                // its processor to run it), its partial invocation is
+                // discarded, and any window it holds ends.
+                status.insert(ev.pid, PStatus::Crashed);
+                mid_invocation.insert(ev.pid, false);
+                if let Some(w) = windows.get_mut(&(ev.cpu, ev.prio)) {
+                    if w.holder == ev.pid {
+                        w.open = false;
+                    }
+                }
+            }
+            EventKind::Recover => {
                 status.insert(ev.pid, PStatus::Ready);
             }
             EventKind::Stmt { effect, .. } => {
@@ -468,6 +492,60 @@ mod tests {
         p2.held = true;
         let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1), p2], events);
         assert!(matches!(check_well_formed(&h), Err(Violation::QuantumViolation { .. })));
+    }
+
+    #[test]
+    fn crashed_higher_priority_process_is_not_ready() {
+        let ev = |kind, t: u64, pid: u32, prio: u32| Event {
+            t,
+            pid: ProcessId(pid),
+            cpu: ProcessorId(0),
+            prio: Priority(prio),
+            kind,
+        };
+        // A crashed higher-priority process does not oblige its processor.
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 2)], vec![
+            ev(EventKind::Crash, 0, 1, 2),
+            stmt(0, 0, 0, 1, StmtEffect::Continue),
+        ]);
+        assert_eq!(check_well_formed(&h), Ok(()));
+        // After recovery it is ready again, so Axiom 1 applies.
+        let h2 = hist(4, vec![info(0, 0, 1), info(1, 0, 2)], vec![
+            ev(EventKind::Crash, 0, 1, 2),
+            ev(EventKind::Recover, 1, 1, 2),
+            stmt(1, 0, 0, 1, StmtEffect::Continue),
+        ]);
+        assert!(matches!(
+            check_well_formed(&h2),
+            Err(Violation::PriorityInversion { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_closes_the_victims_window() {
+        // p0 crashes 2 statements into its window; p1 stepping next is a
+        // lawful switch, not a quantum violation.
+        let ev = |kind, t: u64, pid: u32| Event {
+            t,
+            pid: ProcessId(pid),
+            cpu: ProcessorId(0),
+            prio: Priority(1),
+            kind,
+        };
+        let mut events = vec![
+            // p0 exhausts a first window lawfully, p1 a full quantum, then
+            // p0's SECOND window is cut short by a crash.
+            stmt(0, 0, 0, 1, StmtEffect::Continue),
+        ];
+        for t in 1..5 {
+            events.push(stmt(t, 1, 0, 1, StmtEffect::Continue));
+        }
+        events.push(stmt(5, 0, 0, 1, StmtEffect::Continue));
+        events.push(stmt(6, 0, 0, 1, StmtEffect::Continue));
+        events.push(ev(EventKind::Crash, 7, 0));
+        events.push(stmt(7, 1, 0, 1, StmtEffect::Continue));
+        let h = hist(4, vec![info(0, 0, 1), info(1, 0, 1)], events);
+        assert_eq!(check_well_formed(&h), Ok(()));
     }
 
     #[test]

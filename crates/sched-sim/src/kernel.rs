@@ -107,6 +107,41 @@ enum Status {
     Ready,
     /// All invocations complete.
     Finished,
+    /// Crashed: invisible to its scheduler until recovered. A crash
+    /// discards any partial invocation (the machine is restored to the
+    /// invocation's first statement), so recovery re-runs it from the
+    /// copy-chain re-read.
+    Crashed,
+}
+
+impl Status {
+    /// Stable discriminant for the state-hash fold.
+    fn rank(self) -> u8 {
+        match self {
+            Status::Held => 0,
+            Status::Ready => 1,
+            Status::Finished => 2,
+            Status::Crashed => 3,
+        }
+    }
+}
+
+/// What a scheduled lifecycle event does to its process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LifecycleKind {
+    Crash,
+    Recover,
+}
+
+/// A clock-scheduled crash or recovery. Lifecycle instants are plain
+/// *data* (not decider choices), so runs with a lifecycle plan replay and
+/// parallelize bit-identically: the plan fires as a function of the global
+/// statement clock alone.
+#[derive(Clone, Copy, Debug)]
+struct LifecycleEvent {
+    t: u64,
+    pid: ProcessId,
+    kind: LifecycleKind,
 }
 
 /// Per-process statistics, maintained by the kernel.
@@ -141,6 +176,18 @@ struct ProcEntry<M> {
     interleaved_higher: bool,
     /// Global time of the current invocation's first statement.
     inv_start: u64,
+    /// The original `inv_start` of an invocation aborted by a crash: the
+    /// restarted attempt is the *same* operation, so its [`OpRecord`]
+    /// keeps the first attempt's invocation time — an op whose pre-crash
+    /// shared writes took effect (e.g. it was helped to completion) is
+    /// still linearizable inside its recorded interval. Earliest attempt
+    /// wins across repeated crashes of one invocation.
+    aborted_inv_start: Option<u64>,
+    /// Machine state as of the current invocation's first statement,
+    /// captured only while the kernel is crashable: a crash restores the
+    /// machine from here so the recovered process re-runs the invocation
+    /// from scratch.
+    inv_snapshot: Option<Box<dyn StepMachine<M>>>,
     stats: ProcStats,
 }
 
@@ -272,6 +319,14 @@ pub struct Kernel<M> {
     counters: ObsCounters,
     /// Last process to execute on each cpu, for dispatch events.
     last_on_cpu: Vec<Option<ProcessId>>,
+    /// The lifecycle plan: scheduled crash/recover events sorted by firing
+    /// time, consumed left to right by `lifecycle_cursor`.
+    lifecycle: Vec<LifecycleEvent>,
+    lifecycle_cursor: usize,
+    /// Whether invocation-start snapshots are captured (the cost of being
+    /// crashable); enabled by [`Kernel::enable_crashes`] and by scheduling
+    /// any crash.
+    crashable: bool,
     /// Reusable buffers for the per-step ready-cpu / candidate-holder
     /// scans, so the hot step path performs no allocation.
     scratch_cpus: Vec<ProcessorId>,
@@ -340,6 +395,8 @@ impl<M: Clone> Clone for Kernel<M> {
                     interleaved_same: p.interleaved_same,
                     interleaved_higher: p.interleaved_higher,
                     inv_start: p.inv_start,
+                    aborted_inv_start: p.aborted_inv_start,
+                    inv_snapshot: p.inv_snapshot.as_ref().map(|m| m.box_clone()),
                     stats: p.stats,
                 })
                 .collect(),
@@ -353,6 +410,9 @@ impl<M: Clone> Clone for Kernel<M> {
             prof: self.prof.clone(),
             counters: self.counters,
             last_on_cpu: self.last_on_cpu.clone(),
+            lifecycle: self.lifecycle.clone(),
+            lifecycle_cursor: self.lifecycle_cursor,
+            crashable: self.crashable,
             scratch_cpus: Vec::new(),
             scratch_cands: Vec::new(),
             track_hash: self.track_hash,
@@ -390,6 +450,9 @@ impl<M> Kernel<M> {
             prof: None,
             counters: ObsCounters::default(),
             last_on_cpu: Vec::new(),
+            lifecycle: Vec::new(),
+            lifecycle_cursor: 0,
+            crashable: false,
             scratch_cpus: Vec::new(),
             scratch_cands: Vec::new(),
             track_hash: false,
@@ -445,6 +508,8 @@ impl<M> Kernel<M> {
             interleaved_same: false,
             interleaved_higher: false,
             inv_start: 0,
+            aborted_inv_start: None,
+            inv_snapshot: None,
             stats: ProcStats::default(),
         });
         self.n_cpus = self.n_cpus.max(cpu.index() + 1);
@@ -490,6 +555,181 @@ impl<M> Kernel<M> {
         }
     }
 
+    /// Turns on invocation-start snapshots, making processes crashable:
+    /// from the next invocation boundary on, [`Kernel::crash`] can restore
+    /// a mid-invocation machine to its invocation's first statement.
+    /// Scheduling a crash enables this automatically; call it directly
+    /// only for manual [`Kernel::crash`] choreography. The flag must be
+    /// set before the run starts, so every invocation has a snapshot.
+    pub fn enable_crashes(&mut self) {
+        self.crashable = true;
+    }
+
+    /// Schedules `pid` to crash just before the statement at global clock
+    /// `t` (or at the next lifecycle opportunity if the system quiesces
+    /// first). Lifecycle instants are deterministic data, so scheduled
+    /// runs replay and parallelize bit-identically. Implies
+    /// [`Kernel::enable_crashes`].
+    pub fn schedule_crash(&mut self, t: u64, pid: ProcessId) {
+        self.enable_crashes();
+        self.schedule_lifecycle(LifecycleEvent { t, pid, kind: LifecycleKind::Crash });
+    }
+
+    /// Schedules `pid` to recover (crashed → ready) just before the
+    /// statement at global clock `t`. See [`Kernel::schedule_crash`].
+    pub fn schedule_recover(&mut self, t: u64, pid: ProcessId) {
+        self.schedule_lifecycle(LifecycleEvent { t, pid, kind: LifecycleKind::Recover });
+    }
+
+    fn schedule_lifecycle(&mut self, ev: LifecycleEvent) {
+        self.lifecycle.push(ev);
+        // Stable sort keeps insertion order among equal instants, so a
+        // crash and its same-instant recovery fire in schedule order.
+        self.lifecycle[self.lifecycle_cursor..].sort_by_key(|e| e.t);
+    }
+
+    /// Lifecycle events not yet fired.
+    pub fn lifecycle_pending(&self) -> usize {
+        self.lifecycle.len() - self.lifecycle_cursor
+    }
+
+    /// Crashes a ready process: any partial invocation is discarded (the
+    /// machine is restored to the snapshot captured at the invocation's
+    /// first statement, so shared-memory effects of the partial run remain
+    /// but local state rewinds), its open window closes with
+    /// [`WindowCloseReason::Crashed`], and the process becomes invisible
+    /// to its scheduler until [`Kernel::recover`]. Lenient: crashing a
+    /// held, finished, or already-crashed process is a no-op, which lets
+    /// cyclic churn plans name victims without tracking their state.
+    pub fn crash(&mut self, pid: ProcessId) {
+        let idx = pid.index();
+        if self.procs[idx].status != Status::Ready {
+            return;
+        }
+        let t = self.clock;
+        let (cpu, prio) = (self.procs[idx].cpu, self.procs[idx].prio);
+        {
+            let p = &mut self.procs[idx];
+            if p.mid_invocation {
+                let snap = p
+                    .inv_snapshot
+                    .as_ref()
+                    .expect("crashable kernels snapshot every invocation start");
+                p.machine = snap.box_clone();
+                p.mid_invocation = false;
+                // The restart re-runs this same operation: keep the first
+                // attempt's invocation time for its completion record.
+                p.aborted_inv_start.get_or_insert(p.inv_start);
+            }
+            p.interleaved_same = false;
+            p.interleaved_higher = false;
+            p.status = Status::Crashed;
+        }
+        // Remove the victim's window so the slot is free on recovery; an
+        // open one is reported closed for the observability layer.
+        let was_open = self.windows[cpu.index()]
+            .iter()
+            .any(|w| w.prio == prio && w.holder == pid && w.open);
+        self.windows[cpu.index()].retain(|w| !(w.prio == prio && w.holder == pid));
+        if self.last_on_cpu[cpu.index()] == Some(pid) {
+            // Force a fresh Dispatch event when the victim resumes.
+            self.last_on_cpu[cpu.index()] = None;
+        }
+        self.counters.crashes += 1;
+        if self.observing() {
+            self.emit(ObsEvent::Crash { t, pid });
+            if was_open {
+                self.emit(ObsEvent::WindowClose {
+                    t,
+                    cpu,
+                    prio,
+                    holder: pid,
+                    reason: WindowCloseReason::Crashed,
+                });
+            }
+        }
+        if self.record_history {
+            Arc::make_mut(&mut self.history).events.push(Event {
+                t,
+                pid,
+                cpu,
+                prio,
+                kind: EventKind::Crash,
+            });
+        }
+        if self.track_hash {
+            self.refresh_proc_hash(idx);
+            self.refresh_win_hash(cpu.index());
+        }
+    }
+
+    /// Recovers a crashed process, making it ready again: under Axiom 1 it
+    /// preempts lower-priority processes at its cpu's next statement, and
+    /// its next dispatch re-runs the interrupted invocation from its first
+    /// statement. Lenient: recovering a non-crashed process is a no-op.
+    pub fn recover(&mut self, pid: ProcessId) {
+        let idx = pid.index();
+        if self.procs[idx].status != Status::Crashed {
+            return;
+        }
+        self.procs[idx].status = Status::Ready;
+        self.counters.recoveries += 1;
+        if self.observing() {
+            self.emit(ObsEvent::Recover { t: self.clock, pid });
+        }
+        if self.record_history {
+            let p = &self.procs[idx];
+            let (cpu, prio) = (p.cpu, p.prio);
+            Arc::make_mut(&mut self.history).events.push(Event {
+                t: self.clock,
+                pid,
+                cpu,
+                prio,
+                kind: EventKind::Recover,
+            });
+        }
+        if self.track_hash {
+            self.refresh_proc_hash(idx);
+        }
+    }
+
+    /// Fires every lifecycle event due at the current clock.
+    fn fire_due_lifecycle(&mut self) {
+        while let Some(&ev) = self.lifecycle.get(self.lifecycle_cursor) {
+            if ev.t > self.clock {
+                break;
+            }
+            self.lifecycle_cursor += 1;
+            self.apply_lifecycle(ev);
+        }
+    }
+
+    /// Early-fires the next group of same-instant lifecycle events, used
+    /// when the system quiesces before their scheduled time (the clock
+    /// only advances on statements, so a recovery scheduled past the last
+    /// executable statement would otherwise never fire). Returns whether
+    /// anything fired.
+    fn fire_next_lifecycle_group(&mut self) -> bool {
+        let Some(&first) = self.lifecycle.get(self.lifecycle_cursor) else {
+            return false;
+        };
+        while let Some(&ev) = self.lifecycle.get(self.lifecycle_cursor) {
+            if ev.t != first.t {
+                break;
+            }
+            self.lifecycle_cursor += 1;
+            self.apply_lifecycle(ev);
+        }
+        true
+    }
+
+    fn apply_lifecycle(&mut self, ev: LifecycleEvent) {
+        match ev.kind {
+            LifecycleKind::Crash => self.crash(ev.pid),
+            LifecycleKind::Recover => self.recover(ev.pid),
+        }
+    }
+
     /// The configured quantum `Q`.
     pub fn quantum(&self) -> u32 {
         self.quantum
@@ -513,6 +753,11 @@ impl<M> Kernel<M> {
     /// Whether `pid` has finished all invocations.
     pub fn is_finished(&self, pid: ProcessId) -> bool {
         self.procs[pid.index()].status == Status::Finished
+    }
+
+    /// Whether `pid` is currently crashed (awaiting [`Kernel::recover`]).
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].status == Status::Crashed
     }
 
     /// Whether every process has finished.
@@ -820,8 +1065,18 @@ impl<M> Kernel<M> {
         }
 
         if !self.procs[idx].mid_invocation {
-            // First statement of a new invocation.
-            self.procs[idx].inv_start = t;
+            // First statement of a new invocation — or the restart of one
+            // aborted by a crash, which keeps the aborted attempt's
+            // invocation time (it is the same operation).
+            self.procs[idx].inv_start =
+                self.procs[idx].aborted_inv_start.take().unwrap_or(t);
+            if self.crashable {
+                // Machines stage the next invocation eagerly at the
+                // previous boundary, so this snapshot already carries the
+                // staged operation: a crash-restore re-runs *this*
+                // invocation, not a stale one.
+                self.procs[idx].inv_snapshot = Some(self.procs[idx].machine.box_clone());
+            }
             if self.observing() {
                 let inv_index = self.procs[idx].stats.completed as u32;
                 self.emit(ObsEvent::InvStart { t, pid, inv_index });
@@ -934,13 +1189,43 @@ impl<M> Kernel<M> {
     }
 
     /// Executes one atomic statement, resolving decisions via `decider`.
+    /// Scheduled lifecycle events due at the current clock fire first; if
+    /// the system is quiescent but lifecycle events remain (e.g. everyone
+    /// ready has crashed and a recovery is pending), the next group is
+    /// early-fired and the step retried.
     ///
     /// Returns `None` when the system is quiescent (no ready process).
     pub fn step(&mut self, decider: &mut dyn Decider) -> Option<StepReport> {
+        // Keep the common no-lifecycle hot path free of the firing loop:
+        // one integer compare when no plan is pending.
+        if self.lifecycle_cursor < self.lifecycle.len() {
+            return self.step_with_lifecycle(decider);
+        }
         match self.step_core(&mut |c, n| Some(decider.choose(c, n))) {
             StepAttempt::Stepped(r) => Some(r),
             StepAttempt::Quiescent => None,
             StepAttempt::NeedChoice { .. } => unreachable!("decider always answers"),
+        }
+    }
+
+    /// [`Kernel::step`] with lifecycle events still pending: due events
+    /// fire first, and a quiescent system early-fires the next group and
+    /// retries (the clock only advances on statements, so a recovery
+    /// scheduled past the last executable statement would otherwise never
+    /// fire).
+    #[cold]
+    fn step_with_lifecycle(&mut self, decider: &mut dyn Decider) -> Option<StepReport> {
+        self.fire_due_lifecycle();
+        loop {
+            match self.step_core(&mut |c, n| Some(decider.choose(c, n))) {
+                StepAttempt::Stepped(r) => return Some(r),
+                StepAttempt::Quiescent => {
+                    if !self.fire_next_lifecycle_group() {
+                        return None;
+                    }
+                }
+                StepAttempt::NeedChoice { .. } => unreachable!("decider always answers"),
+            }
         }
     }
 
@@ -984,8 +1269,7 @@ impl<M> Kernel<M> {
         seed.hash(&mut h);
         index.hash(&mut h);
         p.machine.state_key(&mut h);
-        (p.status == Status::Ready).hash(&mut h);
-        (p.status == Status::Finished).hash(&mut h);
+        p.status.rank().hash(&mut h);
         p.mid_invocation.hash(&mut h);
         p.ever_dispatched.hash(&mut h);
         h.finish()
@@ -999,8 +1283,7 @@ impl<M> Kernel<M> {
         0xC3u8.hash(&mut h);
         seed.hash(&mut h);
         p.machine.state_key(&mut h);
-        (p.status == Status::Ready).hash(&mut h);
-        (p.status == Status::Finished).hash(&mut h);
+        p.status.rank().hash(&mut h);
         p.mid_invocation.hash(&mut h);
         p.ever_dispatched.hash(&mut h);
         h.finish()

@@ -105,6 +105,8 @@ pub enum WindowCloseReason {
     /// The holder exhausted its credit mid-invocation — the next
     /// equal-priority dispatch is a *quantum preemption*.
     Expired,
+    /// The holder crashed while the window was open.
+    Crashed,
 }
 
 impl WindowCloseReason {
@@ -113,6 +115,7 @@ impl WindowCloseReason {
             WindowCloseReason::InvocationEnd => "inv-end",
             WindowCloseReason::Finished => "finished",
             WindowCloseReason::Expired => "expired",
+            WindowCloseReason::Crashed => "crashed",
         }
     }
 
@@ -121,6 +124,7 @@ impl WindowCloseReason {
             "inv-end" => Some(WindowCloseReason::InvocationEnd),
             "finished" => Some(WindowCloseReason::Finished),
             "expired" => Some(WindowCloseReason::Expired),
+            "crashed" => Some(WindowCloseReason::Crashed),
             _ => None,
         }
     }
@@ -247,6 +251,22 @@ pub enum ObsEvent {
         /// Global statement time.
         t: u64,
         /// The released process.
+        pid: ProcessId,
+    },
+    /// A process crashed: its partial invocation was discarded and it is
+    /// invisible to its scheduler until it recovers.
+    Crash {
+        /// Global statement time.
+        t: u64,
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// A crashed process recovered (became ready again); its next dispatch
+    /// re-runs the interrupted invocation from its first statement.
+    Recover {
+        /// Global statement time.
+        t: u64,
+        /// The recovered process.
         pid: ProcessId,
     },
 }
@@ -426,6 +446,12 @@ impl Trace {
                 ObsEvent::Release { t, pid } => {
                     out.push_str(&format!("release {t} {}\n", pid.0));
                 }
+                ObsEvent::Crash { t, pid } => {
+                    out.push_str(&format!("crash {t} {}\n", pid.0));
+                }
+                ObsEvent::Recover { t, pid } => {
+                    out.push_str(&format!("recover {t} {}\n", pid.0));
+                }
             }
         }
         out
@@ -524,6 +550,8 @@ impl Trace {
                 "release" => {
                     ObsEvent::Release { t: num!(u64), pid: ProcessId(num!(u32)) }
                 }
+                "crash" => ObsEvent::Crash { t: num!(u64), pid: ProcessId(num!(u32)) },
+                "recover" => ObsEvent::Recover { t: num!(u64), pid: ProcessId(num!(u32)) },
                 _ => return Err(err("unknown event tag")),
             };
             events.push(ev);
@@ -560,6 +588,10 @@ pub struct ObsCounters {
     pub invocations_completed: u64,
     /// Held processes released.
     pub releases: u64,
+    /// Processes crashed (partial invocations discarded).
+    pub crashes: u64,
+    /// Crashed processes recovered.
+    pub recoveries: u64,
 }
 
 impl ObsCounters {
@@ -584,6 +616,10 @@ impl std::fmt::Display for ObsCounters {
             self.quantum_expiries_mid_invocation
         )?;
         writeln!(f, "invocations completed      {}", self.invocations_completed)?;
+        if self.crashes > 0 || self.recoveries > 0 {
+            writeln!(f, "crashes                    {}", self.crashes)?;
+            writeln!(f, "recoveries                 {}", self.recoveries)?;
+        }
         match self.statements_per_op() {
             Some(s) => writeln!(f, "statements per operation   {s:.2}"),
             None => writeln!(f, "statements per operation   n/a"),
@@ -638,6 +674,15 @@ mod tests {
                     reason: WindowCloseReason::Expired,
                 },
                 ObsEvent::Release { t: 12, pid: ProcessId(9) },
+                ObsEvent::Crash { t: 13, pid: ProcessId(3) },
+                ObsEvent::WindowClose {
+                    t: 13,
+                    cpu: ProcessorId(1),
+                    prio: Priority(2),
+                    holder: ProcessId(3),
+                    reason: WindowCloseReason::Crashed,
+                },
+                ObsEvent::Recover { t: 15, pid: ProcessId(3) },
             ],
         }
     }

@@ -269,6 +269,10 @@ pub struct ProcProfile {
     pub preempt_same: u64,
     /// Priority (higher-priority) preemption episodes suffered.
     pub preempt_higher: u64,
+    /// Crashes suffered (each discards the partial invocation).
+    pub crashes: u64,
+    /// Recoveries (crashed → ready transitions).
+    pub recoveries: u64,
     /// Completed object invocations.
     pub invocations: u64,
     /// Statements from becoming ready to the next dispatch.
@@ -298,6 +302,7 @@ impl ProcProfile {
             && self.windows == 0
             && self.preempt_same == 0
             && self.preempt_higher == 0
+            && self.crashes == 0
     }
 
     fn merge(&mut self, other: &ProcProfile) {
@@ -309,6 +314,8 @@ impl ProcProfile {
         self.window_stmts += other.window_stmts;
         self.preempt_same += other.preempt_same;
         self.preempt_higher += other.preempt_higher;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
         self.invocations += other.invocations;
         self.dispatch_latency.merge(&other.dispatch_latency);
         self.inv_steps.merge(&other.inv_steps);
@@ -394,6 +401,7 @@ fn wc_index(r: WindowCloseReason) -> usize {
         WindowCloseReason::InvocationEnd => 0,
         WindowCloseReason::Finished => 1,
         WindowCloseReason::Expired => 2,
+        WindowCloseReason::Crashed => 3,
     }
 }
 
@@ -413,8 +421,13 @@ pub struct Profile {
     pub per_priority: Vec<PrioProfile>,
     /// Decisions consulted, by kind: `[cpu, holder, first_credit]`.
     decisions: [u64; 3],
-    /// Window closes, by reason: `[inv_end, finished, expired]`.
-    closes: [u64; 3],
+    /// Window closes, by reason: `[inv_end, finished, expired, crashed]`.
+    closes: [u64; 4],
+    /// Dispatch events whose timestamp preceded the process's recorded
+    /// ready-since instant. A well-formed stream never produces one (the
+    /// fold debug-asserts), so a nonzero count flags a malformed or
+    /// corrupted trace instead of being silently clamped to latency 0.
+    clock_inversions: u64,
     /// Open-window slots, indexed `[cpu][prio]`.
     open: Vec<Vec<Option<OpenWindow>>>,
     /// Transient per-process fold state (parallel to `per_process`).
@@ -496,7 +509,17 @@ impl Profile {
                 self.ensure_proc(pid);
                 let i = pid.index();
                 self.per_process[i].dispatches += 1;
-                let lat = t.saturating_sub(self.st[i].ready_since);
+                let since = self.st[i].ready_since;
+                debug_assert!(
+                    t >= since,
+                    "dispatch at t={t} precedes ready-since {since} for {pid:?}",
+                );
+                let lat = if t >= since {
+                    t - since
+                } else {
+                    self.clock_inversions += 1;
+                    0
+                };
                 self.per_process[i].dispatch_latency.record(lat);
                 self.st[i].prio = Some(prio.0);
             }
@@ -567,6 +590,20 @@ impl Profile {
                 self.per_process[pid.index()].releases += 1;
                 self.st[pid.index()].ready_since = t;
             }
+            ObsEvent::Crash { pid, .. } => {
+                self.ensure_proc(pid);
+                let i = pid.index();
+                self.per_process[i].crashes += 1;
+                // The partial invocation is discarded; the restarted run
+                // begins counting afresh at the next InvStart.
+                self.st[i].inv_steps = 0;
+                self.st[i].inv_retries = 0;
+            }
+            ObsEvent::Recover { t, pid } => {
+                self.ensure_proc(pid);
+                self.per_process[pid.index()].recoveries += 1;
+                self.st[pid.index()].ready_since = t;
+            }
         }
     }
 
@@ -594,6 +631,7 @@ impl Profile {
         for (a, b) in self.closes.iter_mut().zip(other.closes.iter()) {
             *a += b;
         }
+        self.clock_inversions += other.clock_inversions;
     }
 
     /// Total statements across all processes.
@@ -637,6 +675,22 @@ impl Profile {
         self.closes[2]
     }
 
+    /// Total crash events folded in.
+    pub fn total_crashes(&self) -> u64 {
+        self.per_process.iter().map(|p| p.crashes).sum()
+    }
+
+    /// Total recovery events folded in.
+    pub fn total_recoveries(&self) -> u64 {
+        self.per_process.iter().map(|p| p.recoveries).sum()
+    }
+
+    /// Dispatch events whose timestamp preceded the ready-since instant
+    /// (zero on any well-formed stream).
+    pub fn clock_inversions(&self) -> u64 {
+        self.clock_inversions
+    }
+
     /// Aggregate utilization `window_stmts / window_credit` over every
     /// closed window.
     pub fn utilization(&self) -> Option<f64> {
@@ -657,6 +711,9 @@ impl Profile {
             ("retries", Json::Int(self.total_retries())),
             ("expiries", Json::Int(self.total_expiries())),
             ("decisions", Json::Int(self.total_decisions())),
+            ("crashes", Json::Int(self.total_crashes())),
+            ("recoveries", Json::Int(self.total_recoveries())),
+            ("clock_inversions", Json::Int(self.clock_inversions)),
         ])
     }
 
@@ -699,6 +756,8 @@ impl Profile {
                     ("utilization", ratio_json(p.utilization())),
                     ("preempt_same", Json::Int(p.preempt_same)),
                     ("preempt_higher", Json::Int(p.preempt_higher)),
+                    ("crashes", Json::Int(p.crashes)),
+                    ("recoveries", Json::Int(p.recoveries)),
                     ("invocations", Json::Int(p.invocations)),
                     ("dispatch_latency", p.dispatch_latency.to_json()),
                     ("inv_steps", p.inv_steps.to_json()),
@@ -725,6 +784,7 @@ impl Profile {
                 ("inv_end", Json::Int(self.closes[0])),
                 ("finished", Json::Int(self.closes[1])),
                 ("expired", Json::Int(self.closes[2])),
+                ("crashed", Json::Int(self.closes[3])),
             ]),
         ));
         obj.push(("per_priority".to_string(), Json::Arr(per_priority)));
@@ -777,6 +837,16 @@ impl fmt::Display for Profile {
             "  window closes: {} inv-end, {} finished, {} expired",
             self.closes[0], self.closes[1], self.closes[2],
         )?;
+        if self.closes[3] != 0 || self.total_crashes() != 0 || self.clock_inversions != 0 {
+            writeln!(
+                f,
+                "  crashes: {} ({} windows lost), recoveries: {}, clock inversions: {}",
+                self.total_crashes(),
+                self.closes[3],
+                self.total_recoveries(),
+                self.clock_inversions,
+            )?;
+        }
         for (level, row) in self.per_priority.iter().enumerate() {
             if row.is_empty() {
                 continue;
@@ -831,7 +901,9 @@ fn event_time(ev: &ObsEvent) -> Option<u64> {
         | ObsEvent::InvStart { t, .. }
         | ObsEvent::InvEnd { t, .. }
         | ObsEvent::Stmt { t, .. }
-        | ObsEvent::Release { t, .. } => Some(t),
+        | ObsEvent::Release { t, .. }
+        | ObsEvent::Crash { t, .. }
+        | ObsEvent::Recover { t, .. } => Some(t),
     }
 }
 
@@ -1113,6 +1185,45 @@ pub fn chrome_trace_text(trace: &Trace) -> String {
                     args: vec![],
                 });
             }
+            ObsEvent::Crash { t, pid } => {
+                // Close the discarded partial invocation as its own span so
+                // the track shows exactly where the work was thrown away.
+                if let Some(pos) = open_invs.iter().position(|&(p, ..)| p == pid) {
+                    let (_, start_t, inv_index) = open_invs.remove(pos);
+                    out.push(ChromeEvent {
+                        name: format!("inv {inv_index}"),
+                        ph: "X",
+                        pid: cpu_of(pid),
+                        tid: ops_tid(pid),
+                        ts: start_t,
+                        dur: Some(t.saturating_sub(start_t) + 1),
+                        scoped: false,
+                        args: vec![("crashed", Json::Bool(true))],
+                    });
+                }
+                out.push(ChromeEvent {
+                    name: "crash".to_string(),
+                    ph: "i",
+                    pid: cpu_of(pid),
+                    tid: ops_tid(pid),
+                    ts: t,
+                    dur: None,
+                    scoped: true,
+                    args: vec![],
+                });
+            }
+            ObsEvent::Recover { t, pid } => {
+                out.push(ChromeEvent {
+                    name: "recover".to_string(),
+                    ph: "i",
+                    pid: cpu_of(pid),
+                    tid: ops_tid(pid),
+                    ts: t,
+                    dur: None,
+                    scoped: true,
+                    args: vec![],
+                });
+            }
             ObsEvent::Dispatch { .. } | ObsEvent::Stmt { .. } => {}
         }
     }
@@ -1163,6 +1274,7 @@ fn chrome_close_tag(reason: WindowCloseReason) -> &'static str {
         WindowCloseReason::InvocationEnd => "inv-end",
         WindowCloseReason::Finished => "finished",
         WindowCloseReason::Expired => "expired",
+        WindowCloseReason::Crashed => "crashed",
     }
 }
 

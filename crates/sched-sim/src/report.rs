@@ -494,16 +494,33 @@ pub const TIMING_SCHEMA: &[(&str, Kind)] = &[
 /// The envelope of a service report line (`BENCH_service.json`): the
 /// standard [`CELL_SCHEMA`] plus the request count, the deterministic
 /// throughput figure (`steps_per_request`), and the request-latency
-/// percentiles (see `sched_sim::service`).
+/// percentiles (see `sched_sim::service`). The percentiles are `Any`, not
+/// `Num`: an empty latency histogram has no percentiles and reports
+/// `null` (a fake 0 would be indistinguishable from a real fast cell).
 pub const SERVICE_SCHEMA: &[(&str, Kind)] = &[
     ("kind", Kind::Str),
     ("cell", Kind::Obj),
     ("steps", Kind::Num),
     ("requests", Kind::Num),
     ("steps_per_request", Kind::Num),
-    ("p50", Kind::Num),
-    ("p90", Kind::Num),
-    ("p99", Kind::Num),
+    ("p50", Kind::Any),
+    ("p90", Kind::Any),
+    ("p99", Kind::Any),
+];
+
+/// The envelope of a crash-grid report line (`BENCH_crash.json`): the
+/// standard [`CELL_SCHEMA`] plus the lifecycle counts, the recovery-safe
+/// oracle's violation count, and the cell verdict (`ok`: agreement,
+/// validity, and exactly-once linearization all held across every crash
+/// and recovery boundary — see `lowerbound::crash`).
+pub const CRASH_SCHEMA: &[(&str, Kind)] = &[
+    ("kind", Kind::Str),
+    ("cell", Kind::Obj),
+    ("steps", Kind::Num),
+    ("crashes", Kind::Num),
+    ("recoveries", Kind::Num),
+    ("violations", Kind::Num),
+    ("ok", Kind::Bool),
 ];
 
 /// The envelope of an exhaustive-exploration report line
@@ -531,7 +548,8 @@ pub const EXPLORE_SCHEMA: &[(&str, Kind)] = &[
 /// `*.timing.json` → [`TIMING_SCHEMA`], `*profile.json` →
 /// [`PROFILE_SCHEMA`], `*native.json` → [`NATIVE_SCHEMA`],
 /// `*service.json` → [`SERVICE_SCHEMA`], `*explore.json` →
-/// [`EXPLORE_SCHEMA`], anything else → [`CELL_SCHEMA`].
+/// [`EXPLORE_SCHEMA`], `*crash.json` → [`CRASH_SCHEMA`], anything else →
+/// [`CELL_SCHEMA`].
 pub fn schema_for_path(path: &std::path::Path) -> &'static [(&'static str, Kind)] {
     // `to_string_lossy` on the file name alone: a non-UTF8 byte in the
     // name maps to U+FFFD, which simply fails all suffix matches and
@@ -547,6 +565,8 @@ pub fn schema_for_path(path: &std::path::Path) -> &'static [(&'static str, Kind)
         SERVICE_SCHEMA
     } else if name.ends_with("explore.json") {
         EXPLORE_SCHEMA
+    } else if name.ends_with("crash.json") {
+        CRASH_SCHEMA
     } else {
         CELL_SCHEMA
     }
@@ -691,7 +711,9 @@ mod tests {
         assert_eq!(schema_for_path(Path::new("BENCH_native.json")), NATIVE_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_service.json")), SERVICE_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_explore.json")), EXPLORE_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_crash.json")), CRASH_SCHEMA);
         assert_eq!(schema_for_path(Path::new("BENCH_service.timing.json")), TIMING_SCHEMA);
+        assert_eq!(schema_for_path(Path::new("BENCH_crash.timing.json")), TIMING_SCHEMA);
         assert_eq!(
             schema_for_path(Path::new("/tmp/deep/dir/BENCH_native.json")),
             NATIVE_SCHEMA

@@ -89,6 +89,8 @@ pub struct Scenario<M> {
     obs: bool,
     prof: bool,
     budget: u64,
+    crashes: Vec<(u64, ProcessId)>,
+    recovers: Vec<(u64, ProcessId)>,
 }
 
 impl<M: Clone> Clone for Scenario<M> {
@@ -100,6 +102,8 @@ impl<M: Clone> Clone for Scenario<M> {
             obs: self.obs,
             prof: self.prof,
             budget: self.budget,
+            crashes: self.crashes.clone(),
+            recovers: self.recovers.clone(),
         }
     }
 }
@@ -108,7 +112,16 @@ impl<M> Scenario<M> {
     /// A scenario over initial shared memory `mem` with the given spec and
     /// the [`DEFAULT_STEP_BUDGET`].
     pub fn new(mem: M, spec: SystemSpec) -> Self {
-        Scenario { spec, mem, procs: Vec::new(), obs: false, prof: false, budget: DEFAULT_STEP_BUDGET }
+        Scenario {
+            spec,
+            mem,
+            procs: Vec::new(),
+            obs: false,
+            prof: false,
+            budget: DEFAULT_STEP_BUDGET,
+            crashes: Vec::new(),
+            recovers: Vec::new(),
+        }
     }
 
     /// Adds a ready process pinned to `cpu` at priority `prio`; returns its
@@ -183,6 +196,36 @@ impl<M> Scenario<M> {
         self
     }
 
+    /// Schedules a crash of `pid` at clock instant `t` on every run (the
+    /// kernel is built with [`Kernel::schedule_crash`], which also enables
+    /// invocation snapshotting). Crash instants are scenario *data*, not
+    /// decider choices, so seeded/parallel runs stay deterministic.
+    pub fn crash_at(mut self, t: u64, pid: ProcessId) -> Self {
+        self.crashes.push((t, pid));
+        self
+    }
+
+    /// Schedules a recovery of `pid` at clock instant `t` on every run
+    /// (the restarted process re-runs its interrupted invocation from the
+    /// start — for the paper's algorithms, the copy-chain re-read).
+    pub fn recover_at(mut self, t: u64, pid: ProcessId) -> Self {
+        self.recovers.push((t, pid));
+        self
+    }
+
+    /// Non-chainable [`Scenario::crash_at`]/[`Scenario::recover_at`]: one
+    /// crash-and-restart cycle for `pid` (crash at `t_crash`, recovery at
+    /// `t_recover`).
+    pub fn add_crash_cycle(&mut self, pid: ProcessId, t_crash: u64, t_recover: u64) {
+        self.crashes.push((t_crash, pid));
+        self.recovers.push((t_recover, pid));
+    }
+
+    /// Whether any lifecycle (crash/recovery) events are scheduled.
+    pub fn has_lifecycle(&self) -> bool {
+        !self.crashes.is_empty() || !self.recovers.is_empty()
+    }
+
     /// The configured step budget.
     pub fn budget(&self) -> u64 {
         self.budget
@@ -209,6 +252,12 @@ impl<M> Scenario<M> {
             } else {
                 k.add_process(p.cpu, p.prio, p.machine);
             }
+        }
+        for &(t, pid) in &self.crashes {
+            k.schedule_crash(t, pid);
+        }
+        for &(t, pid) in &self.recovers {
+            k.schedule_recover(t, pid);
         }
         if self.obs {
             k.attach_obs();

@@ -92,6 +92,29 @@ impl Arrival {
     }
 }
 
+/// Continuous client churn: a fixed set of victim workers (each standing
+/// in for its multiplexed client slice) crashes and reconnects on a cycle.
+///
+/// Victim `j` (workers `0..victims`) runs for `period` statements, crashes,
+/// stays down for `down` statements, recovers, and repeats for `cycles`
+/// cycles; victims are phase-staggered across the period so the shard never
+/// loses every victim at once. Crash/recovery instants are scheduled as
+/// kernel lifecycle *data* ([`Kernel::schedule_crash`]), so churn runs keep
+/// the engine's parallel == serial bit-identity. A crash that lands while
+/// the victim is held, finished, or already down is a no-op (lenient
+/// lifecycle semantics), so one plan shape serves every arrival schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Workers per shard that churn (workers `0..victims`).
+    pub victims: u32,
+    /// Statements each victim stays up per cycle.
+    pub period: u64,
+    /// Statements each victim stays down per cycle.
+    pub down: u64,
+    /// Crash-and-reconnect cycles per victim.
+    pub cycles: u32,
+}
+
 /// The declarative shape of a service run: how many shards, clients, and
 /// worker processes, how many request invocations in total, and how load
 /// arrives. The *objects* served and the *op mix* are the factory's
@@ -112,6 +135,8 @@ pub struct ServiceSpec {
     pub prio_levels: u32,
     /// The arrival schedule.
     pub arrival: Arrival,
+    /// Continuous client churn, if any.
+    pub churn: Option<ChurnSpec>,
     /// Per-shard step budget.
     pub budget: u64,
 }
@@ -139,6 +164,7 @@ impl ServiceSpec {
             requests,
             prio_levels: 2,
             arrival: Arrival::ClosedLoop { think: 0 },
+            churn: None,
             budget: DEFAULT_STEP_BUDGET,
         }
     }
@@ -158,6 +184,12 @@ impl ServiceSpec {
     /// Sets the arrival schedule (chainable).
     pub fn arrival(mut self, arrival: Arrival) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Enables continuous client churn (chainable).
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
         self
     }
 
@@ -192,12 +224,20 @@ impl ServiceSpec {
         if let Arrival::OpenLoop { cohorts, .. } = self.arrival {
             assert!(cohorts >= 1, "open loop needs at least one cohort");
         }
+        if let Some(c) = self.churn {
+            assert!(
+                c.victims < self.workers_per_shard,
+                "churn victims must leave at least one stable worker per shard"
+            );
+            assert!(c.period >= 1 && c.down >= 1, "churn period and downtime must be positive");
+        }
         (0..self.shards)
             .map(|s| ShardPlan {
                 shard: s,
                 workers: self.workers_per_shard,
                 prio_levels: self.prio_levels,
                 arrival: self.arrival,
+                churn: self.churn,
                 budget: self.budget,
                 client_lo: offset(self.clients, u64::from(self.shards), u64::from(s)),
                 clients: share(self.clients, u64::from(self.shards), u64::from(s)),
@@ -220,6 +260,8 @@ pub struct ShardPlan {
     pub prio_levels: u32,
     /// The arrival schedule.
     pub arrival: Arrival,
+    /// Continuous client churn, if any.
+    pub churn: Option<ChurnSpec>,
     /// The step budget for this shard's run.
     pub budget: u64,
     /// First global client id served by this shard.
@@ -375,6 +417,18 @@ fn prepared_kernel<M>(plan: &ShardPlan, build: &impl Fn(&ShardPlan) -> Scenario<
         "shard factory must add exactly one process per worker, in worker order"
     );
     let mut k = scenario.into_kernel();
+    if let Some(churn) = plan.churn {
+        for j in 0..churn.victims {
+            // Phase-stagger the victims across the up-period so the shard
+            // never loses its whole churning set at one instant.
+            let phase = u64::from(j) * churn.period / u64::from(churn.victims);
+            for c in 0..u64::from(churn.cycles) {
+                let crash_at = churn.period + c * (churn.period + churn.down) + phase;
+                k.schedule_crash(crash_at, ProcessId(j));
+                k.schedule_recover(crash_at + churn.down, ProcessId(j));
+            }
+        }
+    }
     k.reserve_ops(plan.expected_invocations() as usize);
     k
 }
@@ -410,6 +464,7 @@ fn run_shard<M>(plan: &ShardPlan, build: &impl Fn(&ShardPlan) -> Scenario<M>) ->
     }
     steps += k.run(&mut d, budget - steps);
     let wall = t0.elapsed();
+    let counters = k.counters();
 
     let mut latency = Hist::new();
     let mut per_prio: Vec<Hist> = vec![Hist::new(); plan.prio_levels as usize + 1];
@@ -428,6 +483,8 @@ fn run_shard<M>(plan: &ShardPlan, build: &impl Fn(&ShardPlan) -> Scenario<M>) ->
         wall,
         all_finished: k.all_finished(),
         requests,
+        crashes: counters.crashes,
+        recoveries: counters.recoveries,
         latency,
         per_prio,
     }
@@ -447,6 +504,10 @@ pub struct ShardReport {
     pub all_finished: bool,
     /// Completed requests (think invocations excluded).
     pub requests: u64,
+    /// Churn crashes this shard suffered (0 without churn).
+    pub crashes: u64,
+    /// Churn recoveries (crashed workers reconnecting).
+    pub recoveries: u64,
     /// Request-latency histogram (statements from first to last statement
     /// of the request invocation, inclusive).
     pub latency: Hist,
@@ -482,6 +543,16 @@ impl ServiceReport {
     /// Whether every shard finished inside its budget.
     pub fn all_finished(&self) -> bool {
         self.shards.iter().all(|s| s.all_finished)
+    }
+
+    /// Total churn crashes across shards.
+    pub fn crashes(&self) -> u64 {
+        self.shards.iter().map(|s| s.crashes).sum()
+    }
+
+    /// Total churn recoveries across shards.
+    pub fn recoveries(&self) -> u64 {
+        self.shards.iter().map(|s| s.recoveries).sum()
     }
 
     /// The service-wide latency histogram (shards folded in shard order;
@@ -525,7 +596,10 @@ impl ServiceReport {
         let cell = |extra: Vec<(&str, Json)>| {
             Json::obj(base.iter().map(|(k, v)| (*k, v.clone())).chain(extra))
         };
-        let pct = |h: &Hist, p: f64| Json::Int(h.percentile(p).unwrap_or(0));
+        // An empty histogram has no percentiles: emit null, not a fake 0
+        // (a real zero-statement latency is impossible anyway, but a
+        // starved priority level must be distinguishable from a fast one).
+        let pct = |h: &Hist, p: f64| h.percentile(p).map_or(Json::Null, Json::Int);
         let spr = |steps: u64, reqs: u64| {
             let v = if reqs > 0 { steps as f64 / reqs as f64 } else { 0.0 };
             Json::Float((v * 1000.0).round() / 1000.0)
@@ -541,6 +615,8 @@ impl ServiceReport {
                 ("p50", pct(&s.latency, 50.0)),
                 ("p90", pct(&s.latency, 90.0)),
                 ("p99", pct(&s.latency, 99.0)),
+                ("crashes", Json::from(s.crashes)),
+                ("recoveries", Json::from(s.recoveries)),
                 ("all_finished", Json::from(s.all_finished)),
                 ("wall_ms", Json::from(wall_ms(s.wall))),
             ]));
@@ -570,6 +646,8 @@ impl ServiceReport {
             ("p50", pct(&merged, 50.0)),
             ("p90", pct(&merged, 90.0)),
             ("p99", pct(&merged, 99.0)),
+            ("crashes", Json::from(self.crashes())),
+            ("recoveries", Json::from(self.recoveries())),
             ("all_finished", Json::from(self.all_finished())),
             ("latency", merged.to_json()),
             ("per_prio", Json::Arr(per_prio)),
@@ -701,6 +779,61 @@ mod tests {
         let report = toy_service(spec, 3).run(1);
         assert!(report.all_finished(), "held cohorts must be released");
         assert_eq!(report.requests(), 8);
+    }
+
+    /// Churn: victims crash mid-invocation and reconnect, yet every
+    /// request still completes exactly once (the op log records only
+    /// completed invocations, and a restarted invocation completes once),
+    /// and the parallel run stays bit-identical to the serial one.
+    #[test]
+    fn churn_service_survives_and_counts_requests_exactly_once() {
+        let spec = ServiceSpec::new(2, 8, 24)
+            .workers_per_shard(2)
+            .churn(ChurnSpec { victims: 1, period: 7, down: 5, cycles: 3 });
+        let svc = toy_service(spec, 4);
+        let serial = svc.run(1);
+        let parallel = svc.run(2);
+        assert!(serial.all_finished(), "churn must not wedge the service");
+        assert_eq!(serial.requests(), 24, "every request completes exactly once");
+        assert!(serial.crashes() > 0, "the churn plan must actually fire");
+        assert_eq!(serial.crashes(), serial.recoveries(), "every crash reconnects");
+        let base = [("object", Json::from("toy"))];
+        assert_eq!(
+            canonical(&serial.report_lines(&base)),
+            canonical(&parallel.report_lines(&base)),
+        );
+    }
+
+    /// Satellite fix: an empty latency histogram has no percentiles —
+    /// report `null`, not a fake 0 indistinguishable from a real
+    /// zero-statement latency.
+    #[test]
+    fn empty_histogram_percentiles_serialize_as_null() {
+        let report = ServiceReport {
+            shards: vec![ShardReport {
+                shard: 0,
+                steps: 0,
+                wall: Duration::ZERO,
+                all_finished: true,
+                requests: 0,
+                crashes: 0,
+                recoveries: 0,
+                latency: Hist::new(),
+                per_prio: vec![Hist::new(); 3],
+            }],
+        };
+        let lines = report.report_lines(&[("object", Json::from("toy"))]);
+        for line in &lines {
+            for key in ["p50", "p90", "p99"] {
+                assert_eq!(line.get(key), Some(&Json::Null), "{key} of an empty histogram");
+            }
+        }
+        // Non-empty histograms keep reporting integers.
+        let report = toy_service(ServiceSpec::new(1, 2, 4).workers_per_shard(2), 3).run(1);
+        let lines = report.report_lines(&[("object", Json::from("toy"))]);
+        for line in &lines {
+            assert!(line.get("p50").and_then(Json::as_u64).is_some());
+        }
     }
 
     #[test]

@@ -5,6 +5,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Gates skipped via SKIP_*_GATE env vars are collected here and echoed in
+# a summary line at the end of the run, so a green exit can never silently
+# hide a skipped gate.
+skipped_gates=()
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -31,6 +36,7 @@ echo "== perf smoke (experiments --perf --smoke) + throughput gate =="
 # on heavily-loaded or throttled machines where wall-clock is unreliable);
 # the smoke run and schema validation still execute.
 if [[ -n "${SKIP_PERF_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_PERF_GATE)
   (cd "$smoke_dir" && ../../target/release/experiments --perf --smoke > /dev/null)
 else
   (cd "$smoke_dir" && ../../target/release/experiments --perf --smoke \
@@ -48,6 +54,7 @@ echo "== explore smoke (experiments --explore --smoke --jobs 4) + steps/sec gate
 # regression comparison (e.g. on heavily-loaded or throttled machines);
 # the smoke run, verification, and schema validation still execute.
 if [[ -n "${SKIP_EXPLORE_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_EXPLORE_GATE)
   (cd "$smoke_dir" && ../../target/release/experiments --explore --smoke --jobs 4 > /dev/null)
 else
   (cd "$smoke_dir" && ../../target/release/experiments --explore --smoke --jobs 4 \
@@ -63,6 +70,7 @@ echo "== fuzz smoke (experiments --fuzz --smoke --jobs 2) + artifact validation 
 # artifacts land in a scratch dir so the committed corpus under
 # tests/golden/fuzz/ is not clobbered. Set SKIP_FUZZ_GATE=1 to skip.
 if [[ -n "${SKIP_FUZZ_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_FUZZ_GATE)
   echo "   skipped (SKIP_FUZZ_GATE set)"
 else
   (cd "$smoke_dir" && ../../target/release/experiments --fuzz --smoke --jobs 2 \
@@ -78,6 +86,7 @@ echo "== profile smoke (experiments --profile --smoke --jobs 2) + artifact valid
 # perfetto_golden.rs). Artifacts land in the scratch dir so the committed
 # BENCH_profile.json is not clobbered. Set SKIP_PROFILE_GATE=1 to skip.
 if [[ -n "${SKIP_PROFILE_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_PROFILE_GATE)
   echo "   skipped (SKIP_PROFILE_GATE set)"
 else
   (cd "$smoke_dir" && ../../target/release/experiments --profile --smoke --jobs 2 > /dev/null)
@@ -100,6 +109,7 @@ echo "== native smoke (experiments --native --smoke) + artifact validation =="
 # (e.g. on single-core or heavily throttled machines where spawning the
 # thread-per-process cells is unreasonable).
 if [[ -n "${SKIP_NATIVE_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_NATIVE_GATE)
   echo "   skipped (SKIP_NATIVE_GATE set)"
 else
   (cd "$smoke_dir" && ../../target/release/experiments --native --smoke > /dev/null)
@@ -117,6 +127,7 @@ echo "== service smoke (experiments --service --smoke --jobs 2) + artifact valid
 # skip the baseline comparison (the smoke run and schema validation
 # still execute).
 if [[ -n "${SKIP_SERVICE_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_SERVICE_GATE)
   (cd "$smoke_dir" && ../../target/release/experiments --service --smoke --jobs 2 > /dev/null)
 else
   (cd "$smoke_dir" && ../../target/release/experiments --service --smoke --jobs 2 \
@@ -125,4 +136,24 @@ fi
 target/release/experiments --validate "$smoke_dir/BENCH_service.json"
 target/release/experiments --validate "$smoke_dir/BENCH_service.timing.json"
 
-echo "All checks passed."
+echo "== crash smoke (experiments --crash --smoke --jobs 2) + artifact validation =="
+# The crash-and-restart grid: crash/recover lifecycle plans over the
+# central families under noisy schedules, scored by the recovery-safe
+# oracles (agreement, exactly-once, linearizability across the recovery
+# boundary), plus the churn service cell. Exits nonzero on any oracle
+# violation or a planned crash that failed to fire. Set SKIP_CRASH_GATE=1
+# to skip.
+if [[ -n "${SKIP_CRASH_GATE:-}" ]]; then
+  skipped_gates+=(SKIP_CRASH_GATE)
+  echo "   skipped (SKIP_CRASH_GATE set)"
+else
+  (cd "$smoke_dir" && ../../target/release/experiments --crash --smoke --jobs 2 > /dev/null)
+  target/release/experiments --validate "$smoke_dir/BENCH_crash.json"
+  target/release/experiments --validate "$smoke_dir/BENCH_crash.timing.json"
+fi
+
+if (( ${#skipped_gates[@]} )); then
+  echo "All checks passed. Gates skipped this run: ${skipped_gates[*]}"
+else
+  echo "All checks passed. No gates were skipped."
+fi
